@@ -1,0 +1,224 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: version
+// history depth, validity-range extension, contention management policy,
+// and snapshot isolation. These are not paper figures; they quantify the
+// engine's own knobs.
+package tstm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/timebase"
+)
+
+// scanUnderUpdates runs one reader doing s-object read-only scans against
+// one updater rewriting the table, and reports the reader's abort rate.
+func scanUnderUpdates(b *testing.B, cfg core.Config, scan int) {
+	b.Helper()
+	rt := core.MustRuntime(cfg)
+	objs := make([]*core.Object, scan)
+	for i := range objs {
+		objs[i] = core.NewObject(0)
+	}
+	var stop sync.WaitGroup
+	done := make(chan struct{})
+	stop.Add(1)
+	go func() {
+		defer stop.Done()
+		th := rt.Thread(1)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			o := objs[i%len(objs)]
+			_ = th.Run(func(tx *core.Tx) error {
+				v, err := tx.Read(o)
+				if err != nil {
+					return err
+				}
+				return tx.Write(o, v.(int)+1)
+			})
+		}
+	}()
+	reader := rt.Thread(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reader.RunReadOnly(func(tx *core.Tx) error {
+			for k := 0; k < scan; k++ {
+				if _, err := tx.Read(objs[k]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(done)
+	stop.Wait()
+	rs := reader.Stats()
+	b.ReportMetric(rs.AbortRate(), "reader-aborts/attempt")
+}
+
+// BenchmarkAblation_MaxVersions sweeps the history depth: deeper history
+// lets read-only scans dodge concurrent updates (fewer retries per scan),
+// at the cost of keeping old values alive.
+func BenchmarkAblation_MaxVersions(b *testing.B) {
+	for _, mv := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("versions=%d", mv), func(b *testing.B) {
+			scanUnderUpdates(b, core.Config{
+				TimeBase:    timebase.NewSharedCounter(),
+				MaxVersions: mv,
+			}, 64)
+		})
+	}
+}
+
+// BenchmarkAblation_Extension compares lazy-snapshot extension against the
+// TL2-style no-extension mode on read-modify-write transactions whose
+// snapshot frequently needs to grow.
+func BenchmarkAblation_Extension(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "extension=on"
+		if disable {
+			name = "extension=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := core.MustRuntime(core.Config{
+				TimeBase:         timebase.NewSharedCounter(),
+				DisableExtension: disable,
+			})
+			objs := make([]*core.Object, 16)
+			for i := range objs {
+				objs[i] = core.NewObject(0)
+			}
+			var wg sync.WaitGroup
+			per := b.N/2 + 1
+			b.ResetTimer()
+			for id := 0; id < 2; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := rt.Thread(id)
+					for i := 0; i < per; i++ {
+						_ = th.Run(func(tx *core.Tx) error {
+							for k := 0; k < 4; k++ {
+								o := objs[(id*3+i+k*5)%len(objs)]
+								v, err := tx.Read(o)
+								if err != nil {
+									return err
+								}
+								if err := tx.Write(o, v.(int)+1); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+					}
+				}(id)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(rt.Stats().AbortRate(), "aborts/attempt")
+			b.ReportMetric(float64(rt.Stats().Extensions)/float64(b.N), "extensions/tx")
+		})
+	}
+}
+
+// BenchmarkAblation_ContentionManagers compares the arbitration policies on
+// a deliberately hot object.
+func BenchmarkAblation_ContentionManagers(b *testing.B) {
+	managers := []core.ContentionManager{
+		contention.Aggressive{}, contention.Suicide{}, contention.Polite{},
+		contention.Karma{}, contention.Timestamp{},
+	}
+	for _, m := range managers {
+		b.Run("cm="+m.Name(), func(b *testing.B) {
+			rt := core.MustRuntime(core.Config{
+				TimeBase: timebase.NewSharedCounter(),
+				Manager:  m,
+			})
+			hot := core.NewObject(0)
+			var wg sync.WaitGroup
+			per := b.N/4 + 1
+			b.ResetTimer()
+			for id := 0; id < 4; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := rt.Thread(id)
+					for i := 0; i < per; i++ {
+						_ = th.Run(func(tx *core.Tx) error {
+							v, err := tx.Read(hot)
+							if err != nil {
+								return err
+							}
+							return tx.Write(hot, v.(int)+1)
+						})
+					}
+				}(id)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(rt.Stats().AbortRate(), "aborts/attempt")
+		})
+	}
+}
+
+// BenchmarkAblation_SnapshotIsolation compares serializable and SI commits
+// on read-heavy update transactions (large read set, single write): SI
+// skips the read-set revalidation at commit.
+func BenchmarkAblation_SnapshotIsolation(b *testing.B) {
+	for _, si := range []bool{false, true} {
+		name := "mode=serializable"
+		if si {
+			name = "mode=snapshot-isolation"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := core.MustRuntime(core.Config{
+				TimeBase:          timebase.NewSharedCounter(),
+				SnapshotIsolation: si,
+				MaxVersions:       8,
+			})
+			objs := make([]*core.Object, 64)
+			for i := range objs {
+				objs[i] = core.NewObject(0)
+			}
+			var wg sync.WaitGroup
+			per := b.N/2 + 1
+			b.ResetTimer()
+			for id := 0; id < 2; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := rt.Thread(id)
+					for i := 0; i < per; i++ {
+						_ = th.Run(func(tx *core.Tx) error {
+							// Read half the table, write one own-partition cell.
+							for k := 0; k < 32; k++ {
+								if _, err := tx.Read(objs[(k*2+id)%len(objs)]); err != nil {
+									return err
+								}
+							}
+							o := objs[(id*32+i%32)%len(objs)]
+							v, err := tx.Read(o)
+							if err != nil {
+								return err
+							}
+							return tx.Write(o, v.(int)+1)
+						})
+					}
+				}(id)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(rt.Stats().AbortRate(), "aborts/attempt")
+		})
+	}
+}

@@ -1,0 +1,158 @@
+// Command lsabench regenerates the paper's evaluation (§4) from the
+// command line. Each experiment prints the same rows/series the paper
+// reports:
+//
+//	lsabench -experiment fig1                 MMTimer synchronization errors (Figure 1)
+//	lsabench -experiment fig2                 time-base overhead, real STM (Figure 2)
+//	lsabench -experiment fig2sim              time-base overhead, simulated 16-CPU machine (Figure 2)
+//	lsabench -experiment tl2opt               TL2 counter optimization comparison (§4.2)
+//	lsabench -experiment errors               synchronization-error ablation (§4.3)
+//	lsabench -experiment baselines            LSA-RT vs TL2 vs validating STM (§1.2)
+//	lsabench -experiment all                  everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig1|fig2|fig2word|fig2sim|tl2opt|errors|baselines|all")
+		duration   = flag.Duration("duration", 300*time.Millisecond, "measured interval per point (real-STM experiments)")
+		warmup     = flag.Duration("warmup", 0, "warmup before each measurement (default duration/5)")
+		threads    = flag.String("threads", "", "comma-separated worker counts (default 1,2,4,6,8,12,16)")
+		sizes      = flag.String("sizes", "", "comma-separated transaction sizes (default 10,50,100)")
+		rounds     = flag.Int("rounds", 100, "clock-comparison rounds for fig1")
+		simNs      = flag.Int64("sim-ns", 50_000_000, "simulated horizon per fig2sim point, ns")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	th, err := parseInts(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	sz, err := parseInts(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig1":
+			res, err := experiments.Fig1(experiments.Fig1Config{Rounds: *rounds})
+			if err != nil {
+				fatal(err)
+			}
+			header("Figure 1 — MMTimer synchronization errors and offsets")
+			fmt.Printf("run max: |offset|=%d ticks, error=%d ticks\n\n",
+				res.Measurement.MaxAbsOffset(), res.Measurement.MaxError())
+			emit(res.Table, *csv)
+		case "fig2":
+			res, err := experiments.Fig2(experiments.Fig2Config{
+				Sizes: sz, Threads: th, Duration: *duration, Warmup: *warmup,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			header("Figure 2 — time-base overhead for disjoint updates (real STM on this host)")
+			emit(res.Table, *csv)
+		case "fig2word":
+			res, err := experiments.Fig2Word(experiments.Fig2Config{
+				Sizes: sz, Threads: th, Duration: *duration, Warmup: *warmup,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			header("Figure 2 on the word-based LSA engine (time bases are representation-agnostic, §1.1)")
+			emit(res.Table, *csv)
+		case "fig2sim":
+			res, err := experiments.Fig2Sim(experiments.Fig2SimConfig{
+				Sizes: sz, Threads: th, DurationNs: *simNs,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			header("Figure 2 — time-base overhead on the simulated 16-CPU ccNUMA machine")
+			emit(res.Table, *csv)
+		case "tl2opt":
+			res, err := experiments.TL2Opt(experiments.Fig2Config{
+				Sizes: sz, Threads: th, Duration: *duration, Warmup: *warmup,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			header("§4.2 — shared counter vs TL2 commit-timestamp sharing")
+			emit(res.Table, *csv)
+		case "errors":
+			res, err := experiments.SyncErrors(experiments.SyncErrorsConfig{
+				Duration: *duration, Warmup: *warmup,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			header("§4.3 — synchronization error vs abort behaviour")
+			emit(res.Table, *csv)
+		case "baselines":
+			res, err := experiments.Baselines(experiments.BaselinesConfig{
+				Duration: *duration, Warmup: *warmup,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			header("§1.2 — read-only scans under disjoint updates: LSA-RT vs baselines")
+			emit(res.Table, *csv)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig2word", "fig2sim", "tl2opt", "errors", "baselines"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func header(title string) {
+	fmt.Printf("\n== %s ==\n\n", title)
+}
+
+func emit(t *stats.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("lsabench: bad integer list %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsabench:", err)
+	os.Exit(1)
+}

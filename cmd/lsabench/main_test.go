@@ -1,0 +1,31 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"", nil, true},
+		{"1", []int{1}, true},
+		{"1,2,16", []int{1, 2, 16}, true},
+		{" 1 , 2 ", []int{1, 2}, true},
+		{"1,x", nil, false},
+		{",", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseInts(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseInts(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

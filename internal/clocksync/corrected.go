@@ -1,0 +1,63 @@
+package clocksync
+
+import (
+	"fmt"
+
+	"repro/internal/hwclock"
+)
+
+// Corrected is a software-synchronized view of a clock device: every node
+// read is adjusted by the offset estimated by Measure, leaving a residual
+// deviation bounded by the measurement error. It implements
+// timebase.NodeClock, so it can directly back an externally synchronized
+// STM time base — the full §3.2 pipeline: measure, correct, advertise the
+// bound, let the STM mask the rest.
+//
+// The corrected clocks agree with the *reference node's* clock (node 0) up
+// to Bound(), not with true device time: external synchronization fixes
+// mutual disagreement, and any offset the reference itself has from real
+// time shifts all timestamps equally, which the STM's purely relative
+// comparisons never observe.
+type Corrected struct {
+	dev     *hwclock.Device
+	offsets []int64
+	bound   int64
+}
+
+// NewCorrected builds the corrected view from a measurement's per-node
+// estimates. Nodes missing from est (including the reference node 0) get a
+// zero correction. The residual bound is the largest estimation error plus
+// one tick of correction granularity.
+func NewCorrected(dev *hwclock.Device, est []NodeEstimate) (*Corrected, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("clocksync: device is required")
+	}
+	c := &Corrected{dev: dev, offsets: make([]int64, dev.Nodes()), bound: 1}
+	for _, e := range est {
+		if e.Node < 0 || e.Node >= dev.Nodes() {
+			return nil, fmt.Errorf("clocksync: estimate for unknown node %d", e.Node)
+		}
+		c.offsets[e.Node] = e.Offset
+		if e.Error+1 > c.bound {
+			c.bound = e.Error + 1
+		}
+	}
+	return c, nil
+}
+
+// NodeRead implements timebase.NodeClock: the raw register value minus the
+// estimated offset. Strict per-node monotonicity is inherited from the
+// device (the correction is constant).
+func (c *Corrected) NodeRead(node int) int64 {
+	return c.dev.NodeRead(node) - c.offsets[node]
+}
+
+// Nodes implements timebase.NodeClock.
+func (c *Corrected) Nodes() int { return c.dev.Nodes() }
+
+// Bound is the residual deviation bound in ticks after correction. Pass it
+// to timebase.NewExtSyncClockFrom.
+func (c *Corrected) Bound() int64 { return c.bound }
+
+// Offset returns the correction applied to node, for diagnostics.
+func (c *Corrected) Offset(node int) int64 { return c.offsets[node] }

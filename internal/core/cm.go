@@ -1,0 +1,61 @@
+package core
+
+import "repro/internal/timebase"
+
+// Decision is a contention manager's verdict on a write-write conflict.
+type Decision int
+
+const (
+	// Wait — back off and retry the acquisition; the enemy may finish.
+	Wait Decision = iota
+	// AbortEnemy — abort the transaction currently owning the object.
+	AbortEnemy
+	// AbortSelf — abort the acquiring transaction.
+	AbortSelf
+)
+
+// String renders the decision for diagnostics.
+func (d Decision) String() string {
+	switch d {
+	case Wait:
+		return "wait"
+	case AbortEnemy:
+		return "abort-enemy"
+	case AbortSelf:
+		return "abort-self"
+	default:
+		return "invalid"
+	}
+}
+
+// TxInfo is the read-only view of a transaction a contention manager may
+// inspect. All methods are safe to call on a transaction owned by another
+// thread.
+type TxInfo interface {
+	// ID is a unique, monotonically assigned transaction identifier. Lower
+	// IDs started earlier (system-wide order of transaction creation).
+	ID() uint64
+	// Start is the timestamp at which the transaction began (⌊T.R⌋ at
+	// start).
+	Start() timebase.Timestamp
+	// Ops is the number of objects the transaction has opened so far — a
+	// proxy for invested work, used by Karma-style managers.
+	Ops() int
+	// Attempt is how many times this transaction has been retried.
+	Attempt() int
+}
+
+// ContentionManager arbitrates conflicts between an acquiring transaction
+// and the active transaction that owns the object (§2.3: "a configurable
+// module whose role is to determine which transaction is allowed to progress
+// upon conflict"). The engine only consults it for enemies in the active
+// state; committing enemies are helped to completion instead.
+//
+// Resolve may be called many times for one conflict; n counts the attempts
+// so far (starting at 0), letting managers escalate from waiting to
+// aborting. Implementations must be safe for concurrent use by multiple
+// threads.
+type ContentionManager interface {
+	Resolve(us, enemy TxInfo, n int) Decision
+	Name() string
+}

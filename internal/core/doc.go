@@ -1,0 +1,62 @@
+// Package core implements LSA-RT, the Real-Time Lazy Snapshot Algorithm of
+// Riegel, Fetzer and Felber ("Time-based Transactional Memory with Scalable
+// Time Bases", SPAA 2007): an object-based, multi-version software
+// transactional memory whose notion of time is pluggable.
+//
+// # Protocol
+//
+// Every committed object version carries a validity range [⌊v.R⌋, ⌈v.R⌉]:
+// it becomes valid at its writer's commit time and is superseded one tick
+// before the next version's commit time. A transaction T incrementally
+// maintains its own validity range T.R — the intersection of the ranges of
+// every version it has accessed. While T.R is non-empty, the versions T has
+// read are a consistent snapshot (they were all valid simultaneously), so
+// the engine never re-validates the read set on ordinary accesses. The
+// moving parts (paper Algorithms 2–3):
+//
+//   - Open (read): select the most recent committed version overlapping
+//     T.R; intersect T.R with its range; abort if empty. Declared read-only
+//     transactions may instead select an older version overlapping T.R —
+//     that is what makes long scans abort-free while history suffices.
+//   - Extend: recompute ⌈T.R⌉ against the current time when the snapshot
+//     is too old for a version the transaction needs. A superseded version
+//     in the read set closes the transaction (no extension can help).
+//   - Open (write): register as the object's writer (visible writes,
+//     DSTM-style), buffer a tentative version, and resolve conflicts with
+//     registered writers through the pluggable ContentionManager.
+//   - Commit (update transactions): CAS active→committing, fix the commit
+//     time CT with a fresh timestamp, check every accessed version is still
+//     valid at CT, then CAS committing→committed — which atomically
+//     publishes all tentative versions. Any thread can complete a
+//     committing transaction (helping); every step is an idempotent CAS.
+//
+// # Structure
+//
+// Object holds an atomically-swapped locator {writer, tentative version,
+// committed head}; committed versions chain newest-first and are trimmed to
+// the runtime's MaxVersions. Timestamp comparisons delegate to
+// internal/timebase, which masks the reading error of imprecise
+// (externally synchronized) clocks, so the same engine runs on shared
+// counters, hardware clocks, and software-corrected clocks.
+//
+// # Deviations from the paper's pseudo-code
+//
+// Three deliberate, documented deviations (rationale at the definitions):
+//
+//   - getPrelimUB helps a committing writer fix its commit time before
+//     reasoning about it (ensureCT): the pseudo-code returns the caller's
+//     timestamp while CT is unset, which under preemption lets a commit
+//     land in the reasoned-about past; the paper's §2.4 prose requires the
+//     wait/help this implements.
+//   - The snapshot's upper bound is clamped to "now" on first use instead
+//     of staying ∞ (effLimit), implementing the §1.1 rule that reading a
+//     most-recent version bounds the snapshot at the current time.
+//   - Update transactions always read most-recent versions (extending as
+//     needed): reading an older version would make their commit-time
+//     extension impossible, so the flexibility is reserved for read-only
+//     transactions, as in the authors' LSA-STM.
+//
+// Config.SnapshotIsolation additionally provides the weaker isolation level
+// of the authors' companion work (reference [10] of the paper): reads stay
+// at the begin snapshot and only write-write conflicts abort.
+package core

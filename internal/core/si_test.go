@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+// runWriteSkew orchestrates the canonical write-skew anomaly: two
+// transactions each read both accounts and, if the guard a+b ≥ 10 holds,
+// debit their *own* account by 10 — disjoint write sets, intersecting read
+// sets. Serializable commits must keep a+b ≥ 0; snapshot isolation permits
+// both to commit from the initial snapshot, driving the sum to −10.
+// It returns the final sum.
+func runWriteSkew(t *testing.T, si bool) int {
+	t.Helper()
+	rt := MustRuntime(Config{
+		TimeBase:          timebase.NewSharedCounter(),
+		SnapshotIsolation: si,
+	})
+	a, b := NewObject(5), NewObject(5)
+
+	readDone := make(chan struct{})
+	t2Done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := rt.Thread(0)
+		attempt := 0
+		if err := th.Run(func(tx *Tx) error {
+			attempt++
+			av, err := tx.Read(a)
+			if err != nil {
+				return err
+			}
+			bv, err := tx.Read(b)
+			if err != nil {
+				return err
+			}
+			if attempt == 1 {
+				close(readDone)
+				<-t2Done // T2 commits while our snapshot is held
+			}
+			if av.(int)+bv.(int) >= 10 {
+				return tx.Write(a, av.(int)-10)
+			}
+			return nil
+		}); err != nil {
+			t.Errorf("T1: %v", err)
+		}
+	}()
+
+	<-readDone
+	th2 := rt.Thread(1)
+	if err := th2.Run(func(tx *Tx) error {
+		av, err := tx.Read(a)
+		if err != nil {
+			return err
+		}
+		bv, err := tx.Read(b)
+		if err != nil {
+			return err
+		}
+		if av.(int)+bv.(int) >= 10 {
+			return tx.Write(b, bv.(int)-10)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("T2: %v", err)
+	}
+	close(t2Done)
+	wg.Wait()
+
+	sum := 0
+	if err := rt.Thread(2).RunReadOnly(func(tx *Tx) error {
+		av, err := tx.Read(a)
+		if err != nil {
+			return err
+		}
+		bv, err := tx.Read(b)
+		if err != nil {
+			return err
+		}
+		sum = av.(int) + bv.(int)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func TestSerializableForbidsWriteSkew(t *testing.T) {
+	if sum := runWriteSkew(t, false); sum < 0 {
+		t.Errorf("serializable mode allowed write skew: final sum %d", sum)
+	}
+}
+
+func TestSnapshotIsolationPermitsWriteSkew(t *testing.T) {
+	if sum := runWriteSkew(t, true); sum != -10 {
+		t.Errorf("SI should let both guarded debits commit: final sum %d, want -10", sum)
+	}
+}
+
+func TestSIFirstUpdaterWins(t *testing.T) {
+	// Two transactions writing the SAME object from the same snapshot:
+	// under SI exactly one version chain survives and no update is lost.
+	rt := MustRuntime(Config{
+		TimeBase:          timebase.NewSharedCounter(),
+		SnapshotIsolation: true,
+	})
+	o := NewObject(0)
+	const workers, per = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.Thread(id)
+			for i := 0; i < per; i++ {
+				if err := th.Run(func(tx *Tx) error {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					return tx.Write(o, v.(int)+1)
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := mustReadInt(t, rt, o); got != workers*per {
+		t.Errorf("counter = %d, want %d — SI must not lose read-modify-write updates on one object", got, workers*per)
+	}
+}
+
+func TestSIBankConservationWithWriteConflicts(t *testing.T) {
+	// Transfers write both accounts, so every dangerous interleaving is a
+	// write-write conflict: conservation holds even under SI.
+	rt := MustRuntime(Config{
+		TimeBase:          timebase.NewSharedCounter(),
+		SnapshotIsolation: true,
+	})
+	const accounts, initial, workers, per = 8, 100, 4, 100
+	objs := make([]*Object, accounts)
+	for i := range objs {
+		objs[i] = NewObject(initial)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.Thread(id)
+			for i := 0; i < per; i++ {
+				from, to := (id+i)%accounts, (id*5+i*3+1)%accounts
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				if err := th.Run(func(tx *Tx) error {
+					fv, err := tx.Read(objs[from])
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(objs[to])
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(objs[from], fv.(int)-1); err != nil {
+						return err
+					}
+					return tx.Write(objs[to], tv.(int)+1)
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	if err := rt.Thread(99).RunReadOnly(func(tx *Tx) error {
+		sum = 0
+		for _, o := range objs {
+			v, err := tx.Read(o)
+			if err != nil {
+				return err
+			}
+			sum += v.(int)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != accounts*initial {
+		t.Errorf("total = %d, want %d", sum, accounts*initial)
+	}
+}
+
+func TestSIReadsStayAtSnapshot(t *testing.T) {
+	// An SI update transaction's second read must come from the same
+	// snapshot as its first, even after a concurrent commit in between —
+	// served from an older version rather than by extension.
+	rt := MustRuntime(Config{
+		TimeBase:          timebase.NewSharedCounter(),
+		SnapshotIsolation: true,
+		MaxVersions:       8,
+	})
+	a, b := NewObject(1), NewObject(1)
+	sink := NewObject(0)
+	th1 := rt.Thread(0)
+	th2 := rt.Thread(1)
+	attempt := 0
+	if err := th1.Run(func(tx *Tx) error {
+		attempt++
+		av, err := tx.Read(a)
+		if err != nil {
+			return err
+		}
+		if attempt == 1 {
+			// Concurrent commit rewriting both a and b.
+			if err := th2.Run(func(tx2 *Tx) error {
+				if err := tx2.Write(a, 100); err != nil {
+					return err
+				}
+				return tx2.Write(b, 100)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bv, err := tx.Read(b)
+		if err != nil {
+			return err
+		}
+		if av.(int) != bv.(int) {
+			t.Errorf("snapshot mixed generations: a=%d b=%d", av, bv)
+		}
+		return tx.Write(sink, av.(int)+bv.(int))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 1 {
+		t.Errorf("SI transaction retried %d times; old versions should have served the snapshot", attempt)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/timebase"
+)
+
+// Thread is one worker's execution context: its clock handle, its
+// statistics, and the retry loop driving transaction attempts. A Thread
+// must be used by a single goroutine.
+type Thread struct {
+	rt    *Runtime
+	id    int
+	clock timebase.Clock
+	seq   uint64
+	index map[*Object]int
+	stats Stats
+	_     [64]byte // keep each worker's stats off its neighbours' cache lines
+}
+
+// ID returns the worker id the thread was created with.
+func (th *Thread) ID() int { return th.id }
+
+// Clock exposes the thread's clock handle (useful for workloads that want
+// timestamps consistent with the STM's time base).
+func (th *Thread) Clock() timebase.Clock { return th.clock }
+
+// Stats returns a copy of this thread's counters.
+func (th *Thread) Stats() Stats { return th.stats }
+
+// Run executes fn as an update-capable transaction, retrying on aborts
+// until it commits. fn may be invoked many times and must confine its side
+// effects to transactional reads and writes. A non-ErrAborted error from fn
+// aborts the transaction and is returned unchanged.
+func (th *Thread) Run(fn func(*Tx) error) error {
+	return th.run(false, fn)
+}
+
+// RunReadOnly executes fn as a declared read-only transaction: writes are
+// rejected, and reads may be served from older object versions, which lets
+// the transaction commit without any validation (§2.2: a read-only
+// transaction can commit iff it has used a consistent snapshot).
+func (th *Thread) RunReadOnly(fn func(*Tx) error) error {
+	return th.run(true, fn)
+}
+
+func (th *Thread) run(readOnly bool, fn func(*Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := th.newTx(attempt, readOnly)
+		err := fn(tx)
+		switch {
+		case err == nil:
+			if err = tx.commit(); err == nil {
+				th.stats.Commits++
+				return nil
+			}
+		case err != ErrAborted:
+			// Application-level failure: roll back and propagate.
+			tx.abort()
+			th.stats.UserAborts++
+			return err
+		default:
+			tx.abort() // release any owned objects before retrying
+		}
+		th.stats.Aborts++
+		if tx.cause == CauseNone {
+			th.stats.AbortExternal++
+		}
+		if attempt > 2 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// newTx builds a fresh attempt. The entry index map is reused across
+// attempts (helpers never touch it); the entries slice is not, because a
+// helper may still be validating a previous attempt's frozen access set.
+func (th *Thread) newTx(attempt int, readOnly bool) *Tx {
+	th.seq++
+	clear(th.index)
+	tx := &Tx{
+		th:       th,
+		rt:       th.rt,
+		id:       th.seq<<16 | uint64(th.id&0xffff),
+		attempt:  attempt,
+		readOnly: readOnly,
+		index:    th.index,
+	}
+	tx.begin()
+	return tx
+}
+
+// help completes another transaction's two-phase commit with this thread's
+// clock (Algorithm 3 line 13).
+func (th *Thread) help(w *Tx) {
+	th.stats.Helps++
+	w.finishCommit(th.clock)
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/timebase"
+)
+
+// Tx is one attempt of a transaction executing the Real-Time Lazy Snapshot
+// Algorithm (LSA-RT, Algorithm 2). A Tx is bound to the Thread that created
+// it and must only be used from that thread's goroutine; other threads
+// interact with it exclusively through its atomic status, commit time, and —
+// once it has left the active state — its frozen access set.
+//
+// The transaction incrementally constructs a consistent snapshot: the
+// validity range [lower, upper] is the intersection of the validity ranges
+// of all object versions accessed so far, and every access re-checks that
+// the intersection is non-empty. Reads are invisible; writes register the
+// transaction in the object's locator.
+type Tx struct {
+	th       *Thread
+	rt       *Runtime
+	id       uint64
+	attempt  int
+	readOnly bool
+
+	// start is ⌊T.R⌋ at begin: the transaction cannot execute in the past.
+	start timebase.Timestamp
+	// lower, upper are the current bounds of T.R. Owner-only.
+	lower, upper timebase.Timestamp
+	// entries is T.O, the set of accessed (object, version) pairs. Appended
+	// only while active; frozen (and readable by helpers) once the status
+	// CAS to committing is observed.
+	entries []entry
+	// index maps objects to their entry, shared with the Thread and cleared
+	// per attempt. Owner-only; never examined by helpers.
+	index map[*Object]int
+	// update records whether the transaction wrote anything.
+	update bool
+	// closed marks that extension is pointless: some version in the read
+	// set has been superseded, so the upper bound can never grow again
+	// (the paper's "closed" optimization, §2.2).
+	closed bool
+	// cause records why the owner aborted the transaction; external aborts
+	// leave it CauseNone and are classified by the runner.
+	cause AbortCause
+
+	// ops counts opened objects; read by contention managers.
+	ops atomic.Int32
+	// status is the transaction state machine; all transitions are CAS.
+	status atomic.Int32
+	// ct is T.CT, the commit time. CASed from nil exactly once, by the
+	// owner or by any helper (Algorithm 2 line 42).
+	ct atomic.Pointer[timebase.Timestamp]
+}
+
+type entry struct {
+	obj     *Object
+	ver     *version
+	written bool
+}
+
+// Status returns the transaction's current state.
+func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
+
+// CT returns the commit time, or the zero timestamp if none has been fixed.
+func (tx *Tx) CT() timebase.Timestamp {
+	if p := tx.ct.Load(); p != nil {
+		return *p
+	}
+	return timebase.Zero
+}
+
+// ID implements TxInfo.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Start implements TxInfo.
+func (tx *Tx) Start() timebase.Timestamp { return tx.start }
+
+// Ops implements TxInfo.
+func (tx *Tx) Ops() int { return int(tx.ops.Load()) }
+
+// Attempt implements TxInfo.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+// ReadOnly reports whether the transaction was started with RunReadOnly.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+// begin initializes the attempt (Algorithm 2, Start).
+func (tx *Tx) begin() {
+	tx.start = tx.th.clock.GetTime()
+	tx.lower = tx.start
+	tx.upper = timebase.Inf
+}
+
+// effLimit returns the timestamp passed as t into getPrelimUB: the current
+// upper bound, clamped to "now" while it is still infinite. The clamp
+// implements the §1.1 rule that accessing a most-recent version bounds the
+// snapshot at the current time, not ∞ — without it, two sequential reads of
+// head versions could miss a supersession in between.
+func (tx *Tx) effLimit() timebase.Timestamp {
+	if tx.upper.IsInf() {
+		return tx.th.clock.GetTime()
+	}
+	return tx.upper
+}
+
+// errFromStatus translates a non-active status into the API error.
+func (tx *Tx) errFromStatus() error {
+	if tx.Status() == StatusAborted {
+		return ErrAborted
+	}
+	return ErrNotActive
+}
+
+// selfAbort aborts the transaction from its own thread, recording the cause.
+func (tx *Tx) selfAbort(cause AbortCause) {
+	tx.cause = cause
+	tx.abort()
+}
+
+// abort drives the transaction to the aborted state unless it has already
+// committed (Algorithm 2 lines 53–59). Idempotent and callable by any
+// thread.
+func (tx *Tx) abort() {
+	if !tx.status.CompareAndSwap(int32(StatusActive), int32(StatusAborted)) {
+		tx.status.CompareAndSwap(int32(StatusCommitting), int32(StatusAborted))
+	}
+}
+
+// abortExternal aborts an active enemy transaction on behalf of the
+// contention manager. It only targets the active state: committing enemies
+// are helped, not killed.
+func (tx *Tx) abortExternal() bool {
+	return tx.status.CompareAndSwap(int32(StatusActive), int32(StatusAborted))
+}
+
+// Read opens the object in read mode (Algorithm 2, Open with m = read) and
+// returns the value of the version selected into the snapshot.
+func (tx *Tx) Read(o *Object) (any, error) {
+	if tx.Status() != StatusActive {
+		return nil, tx.errFromStatus()
+	}
+	if idx, ok := tx.index[o]; ok {
+		return tx.entries[idx].ver.value, nil
+	}
+	v, ok := tx.getVersion(o)
+	if !ok {
+		tx.selfAbort(CauseSnapshot)
+		tx.th.stats.AbortSnapshot++
+		return nil, ErrAborted
+	}
+	// Lines 28–30: intersect T.R with the version's validity range and
+	// abort if the snapshot became (possibly) inconsistent.
+	tx.lower = timebase.Max(tx.lower, v.validFrom)
+	limit := tx.effLimit()
+	ub := prelimUB(o, v, limit, tx, tx.th.clock)
+	tx.upper = timebase.Min(tx.upper, ub)
+	if tx.lower.PossiblyLater(tx.upper) {
+		tx.selfAbort(CauseSnapshot)
+		tx.th.stats.AbortSnapshot++
+		return nil, ErrAborted
+	}
+	tx.addEntry(o, v, false)
+	return v.value, nil
+}
+
+// Write opens the object in write mode (Algorithm 2, Open with m = write)
+// and installs val as the transaction's tentative new value.
+func (tx *Tx) Write(o *Object, val any) error {
+	if tx.Status() != StatusActive {
+		return tx.errFromStatus()
+	}
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if idx, ok := tx.index[o]; ok && tx.entries[idx].written {
+		// Already own the object: update the tentative version in place.
+		tx.entries[idx].ver.value = val
+		return nil
+	}
+	// Acquisition loop (lines 11–21): become the object's registered writer,
+	// resolving conflicts through helping and the contention manager.
+	for n := 0; ; n++ {
+		if tx.Status() != StatusActive {
+			return tx.errFromStatus()
+		}
+		loc := o.settled(tx.rt.maxVersions)
+		if w := loc.writer; w != nil && w != tx {
+			switch w.Status() {
+			case StatusCommitting:
+				tx.th.help(w)
+			case StatusActive:
+				switch tx.rt.cm.Resolve(tx, w, n) {
+				case AbortEnemy:
+					if w.abortExternal() {
+						tx.th.stats.EnemyAborts++
+					}
+				case AbortSelf:
+					tx.selfAbort(CauseConflict)
+					tx.th.stats.AbortConflict++
+					return ErrAborted
+				default:
+					backoff(n)
+				}
+			default:
+				// Terminal writer: the next settled() call resolves it.
+			}
+			continue
+		}
+		base := loc.cur
+		tent := &version{value: val}
+		if !o.loc.CompareAndSwap(loc, &locator{writer: tx, tent: tent, cur: base}) {
+			continue
+		}
+		tx.update = true
+		// Line 22: if the base version is possibly more recent than the
+		// snapshot's upper bound, extending may still save the transaction.
+		if base.validFrom.PossiblyLater(tx.upper) {
+			tx.extend()
+		}
+		// Lines 28–30. The tentative version's preliminary upper bound is
+		// the caller's limit (we are the registered, still-active writer).
+		tx.lower = timebase.Max(tx.lower, base.validFrom)
+		tx.upper = timebase.Min(tx.upper, tx.effLimit())
+		if tx.lower.PossiblyLater(tx.upper) {
+			tx.selfAbort(CauseSnapshot)
+			tx.th.stats.AbortSnapshot++
+			return ErrAborted
+		}
+		tx.addEntry(o, tent, true)
+		return nil
+	}
+}
+
+// addEntry appends (o, v) to T.O and indexes it. A write upgrade leaves the
+// previously read entry in place so commit-time validation still checks the
+// version the transaction actually read.
+func (tx *Tx) addEntry(o *Object, v *version, written bool) {
+	tx.entries = append(tx.entries, entry{obj: o, ver: v, written: written})
+	tx.index[o] = len(tx.entries) - 1
+	tx.ops.Add(1)
+}
+
+// getVersion selects the version of o to read (Algorithm 3, getVersion).
+// Update transactions must read the most recent committed version (an older
+// one could never be extended to the commit time), so they extend the
+// snapshot if the head is too recent. Read-only transactions instead walk
+// back to an older version overlapping their snapshot — this is what makes
+// them abort-free under concurrent updates as long as history suffices.
+func (tx *Tx) getVersion(o *Object) (*version, bool) {
+	for {
+		loc := o.settled(tx.rt.maxVersions)
+		if w := loc.writer; w != nil && w != tx && w.Status() == StatusCommitting {
+			// Line 13: help the committing writer to completion so the
+			// settled state (and its commit time) becomes definite.
+			tx.th.help(w)
+			continue
+		}
+		head := loc.cur
+		if tx.upper.LaterEq(head.validFrom) {
+			return head, true
+		}
+		// Head is possibly more recent than the snapshot. Serializable
+		// update transactions must read the head (and so try to extend);
+		// read-only transactions — and, under snapshot isolation, all
+		// transactions — read at their snapshot from older versions.
+		if !tx.readOnly && !tx.rt.si {
+			if !tx.closed && !tx.rt.disableExt {
+				tx.extend()
+				if tx.upper.LaterEq(head.validFrom) {
+					return head, true
+				}
+			}
+			return nil, false
+		}
+		for v := head.prev.Load(); v != nil; v = v.prev.Load() {
+			if !v.upperBound().LaterEq(tx.lower) {
+				// This version ends before the snapshot starts; older ones
+				// end even earlier.
+				return nil, false
+			}
+			if tx.upper.LaterEq(v.validFrom) {
+				return v, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// extend tries to grow the snapshot's upper bound to the current time
+// (Algorithm 3, Extend). It re-derives the bound of every read version; a
+// superseded version closes the transaction (no future extension can help).
+func (tx *Tx) extend() {
+	// Snapshot-isolation transactions never move their snapshot forward:
+	// reads stay at begin time and conflicting writes abort instead.
+	if tx.closed || tx.rt.disableExt || tx.rt.si {
+		return
+	}
+	t := tx.th.clock.GetTime()
+	upper := t
+	for i := range tx.entries {
+		e := &tx.entries[i]
+		if e.written {
+			continue
+		}
+		ub := prelimUB(e.obj, e.ver, t, tx, tx.th.clock)
+		upper = timebase.Min(upper, ub)
+		if e.ver.fixedUB.Load() != nil {
+			tx.closed = true
+		}
+	}
+	tx.upper = upper
+	tx.th.stats.Extensions++
+}
+
+// commit attempts to commit the transaction (Algorithm 2, Commit).
+func (tx *Tx) commit() error {
+	if !tx.update {
+		// Read-only transactions built their snapshot incrementally and
+		// consistently; no validation is necessary (line 37).
+		if tx.status.CompareAndSwap(int32(StatusActive), int32(StatusCommitted)) {
+			return nil
+		}
+		return ErrAborted
+	}
+	if !tx.status.CompareAndSwap(int32(StatusActive), int32(StatusCommitting)) {
+		return ErrAborted
+	}
+	if tx.finishCommit(tx.th.clock) {
+		return nil
+	}
+	if tx.cause == CauseNone {
+		tx.cause = CauseValidation
+		tx.th.stats.AbortValidation++
+	}
+	return ErrAborted
+}
+
+// finishCommit drives a committing transaction to a terminal state and
+// reports whether it committed. It is invoked by the owner and by helping
+// threads (with their own clocks) and is idempotent: every step is a CAS
+// and validation reads only the frozen access set.
+func (w *Tx) finishCommit(clock timebase.Clock) bool {
+	ensureCT(w, clock)
+	ct := w.CT()
+	// Lines 43–48: the snapshot must extend to the commit time. Every
+	// accessed version must still be (possibly) valid at ct; a version
+	// superseded before ct kills the commit.
+	//
+	// Under snapshot isolation only the written objects matter, and those
+	// are protected by ownership from acquisition to commit — read-write
+	// conflicts are tolerated, so the read entries are skipped.
+	for i := range w.entries {
+		e := &w.entries[i]
+		if w.rt.si && !e.written {
+			continue
+		}
+		ub := prelimUB(e.obj, e.ver, ct, w, clock)
+		if ct.PossiblyLater(ub) {
+			w.abort()
+			return w.Status() == StatusCommitted
+		}
+	}
+	w.status.CompareAndSwap(int32(StatusCommitting), int32(StatusCommitted))
+	return w.Status() == StatusCommitted
+}
+
+// ensureCT fixes the transaction's commit time if it is still unset, using
+// the calling thread's clock (Algorithm 2 lines 41–42; any thread may win
+// the CAS). LSA-RT's §2.4 argument requires that no thread reasons about a
+// committing transaction whose commit time could still land in the past —
+// setting it here, before drawing conclusions, closes that window.
+func ensureCT(w *Tx, clock timebase.Clock) {
+	if w.ct.Load() == nil {
+		t := clock.GetNewTS()
+		w.ct.CompareAndSwap(nil, &t)
+	}
+}
+
+// backoff yields (briefly at first, then sleeping) between conflict
+// resolution attempts.
+func backoff(n int) {
+	if n < 4 {
+		runtime.Gosched()
+		return
+	}
+	shift := n
+	if shift > 14 {
+		shift = 14
+	}
+	time.Sleep(time.Microsecond << uint(shift-4))
+}

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rstmval"
+	"repro/internal/stats"
+	"repro/internal/timebase"
+	"repro/internal/tl2"
+	"repro/internal/wordstm"
+)
+
+// BaselinesConfig parameterizes the §1.2 comparison: read-only scans of
+// growing size under concurrent disjoint updates, on LSA-RT (with a counter
+// and with a clock), TL2, and the validating STM with the commit-counter
+// heuristic. Time-based STMs keep read costs O(1) per access; validation
+// costs grow with the read set; and single-version STMs may abort readers
+// that multi-version LSA-RT serves from history.
+type BaselinesConfig struct {
+	// ScanSizes are the numbers of objects each read-only scan touches.
+	ScanSizes []int
+	// Readers and Updaters are the worker split (defaults 4 and 4).
+	Readers  int
+	Updaters int
+	// Objects is the shared table size (default: max scan size).
+	Objects int
+	// Duration per measured point.
+	Duration time.Duration
+	// Warmup before each measurement.
+	Warmup time.Duration
+}
+
+// BaselinesPoint is one measured point.
+type BaselinesPoint struct {
+	STM       string
+	Scan      int
+	ScansPerS float64
+	UpdPerS   float64
+}
+
+// BaselinesResult groups all points with a rendered table.
+type BaselinesResult struct {
+	Points []BaselinesPoint
+	Table  *stats.Table
+}
+
+// stmDriver abstracts the three STMs behind the minimal surface the
+// experiment needs: build the table, run one scan, run one update.
+type stmDriver struct {
+	name   string
+	setup  func(objects, workers int)
+	scan   func(id, scan int) error
+	update func(id int) error
+}
+
+func lsaDriver(name string, tb func(nodes int) timebase.TimeBase, workers int) *stmDriver {
+	var rt *core.Runtime
+	var objs []*core.Object
+	var threads []*core.Thread
+	return &stmDriver{
+		name: name,
+		setup: func(objects, w int) {
+			rt = core.MustRuntime(core.Config{TimeBase: tb(w)})
+			objs = make([]*core.Object, objects)
+			for i := range objs {
+				objs[i] = core.NewObject(0)
+			}
+			threads = make([]*core.Thread, w)
+			for i := range threads {
+				threads[i] = rt.Thread(i)
+			}
+		},
+		scan: func(id, scan int) error {
+			th := threads[id]
+			return th.RunReadOnly(func(tx *core.Tx) error {
+				for i := 0; i < scan; i++ {
+					if _, err := tx.Read(objs[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+		update: func(id int) error {
+			th := threads[id]
+			o := objs[id%len(objs)]
+			return th.Run(func(tx *core.Tx) error {
+				v, err := tx.Read(o)
+				if err != nil {
+					return err
+				}
+				return tx.Write(o, v.(int)+1)
+			})
+		},
+	}
+}
+
+func tl2Driver() *stmDriver {
+	var s *tl2.STM
+	var objs []*tl2.Object
+	var threads []*tl2.Thread
+	return &stmDriver{
+		name: "TL2",
+		setup: func(objects, w int) {
+			s = tl2.New()
+			objs = make([]*tl2.Object, objects)
+			for i := range objs {
+				objs[i] = tl2.NewObject(0)
+			}
+			threads = make([]*tl2.Thread, w)
+			for i := range threads {
+				threads[i] = s.Thread(i)
+			}
+		},
+		scan: func(id, scan int) error {
+			return threads[id].RunReadOnly(func(tx *tl2.Tx) error {
+				for i := 0; i < scan; i++ {
+					if _, err := tx.Read(objs[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+		update: func(id int) error {
+			o := objs[id%len(objs)]
+			return threads[id].Run(func(tx *tl2.Tx) error {
+				v, err := tx.Read(o)
+				if err != nil {
+					return err
+				}
+				return tx.Write(o, v.(int)+1)
+			})
+		},
+	}
+}
+
+func wordDriver() *stmDriver {
+	var s *wordstm.STM
+	var threads []*wordstm.Thread
+	return &stmDriver{
+		name: "LSA-word",
+		setup: func(objects, w int) {
+			var err error
+			s, err = wordstm.New(timebase.NewSharedCounter(), objects)
+			if err != nil {
+				panic(err)
+			}
+			threads = make([]*wordstm.Thread, w)
+			for i := range threads {
+				threads[i] = s.Thread(i)
+			}
+		},
+		scan: func(id, scan int) error {
+			return threads[id].RunReadOnly(func(tx *wordstm.Tx) error {
+				for i := 0; i < scan; i++ {
+					if _, err := tx.Load(wordstm.Addr(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+		update: func(id int) error {
+			a := wordstm.Addr(id % s.Words())
+			return threads[id].Run(func(tx *wordstm.Tx) error {
+				v, err := tx.Load(a)
+				if err != nil {
+					return err
+				}
+				return tx.Store(a, v+1)
+			})
+		},
+	}
+}
+
+func rstmDriver() *stmDriver {
+	var s *rstmval.STM
+	var objs []*rstmval.Object
+	var threads []*rstmval.Thread
+	return &stmDriver{
+		name: "RSTM-val",
+		setup: func(objects, w int) {
+			s = rstmval.New()
+			objs = make([]*rstmval.Object, objects)
+			for i := range objs {
+				objs[i] = rstmval.NewObject(0)
+			}
+			threads = make([]*rstmval.Thread, w)
+			for i := range threads {
+				threads[i] = s.Thread(i)
+			}
+		},
+		scan: func(id, scan int) error {
+			return threads[id].RunReadOnly(func(tx *rstmval.Tx) error {
+				for i := 0; i < scan; i++ {
+					if _, err := tx.Read(objs[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+		update: func(id int) error {
+			o := objs[id%len(objs)]
+			return threads[id].Run(func(tx *rstmval.Tx) error {
+				v, err := tx.Read(o)
+				if err != nil {
+					return err
+				}
+				return tx.Write(o, v.(int)+1)
+			})
+		},
+	}
+}
+
+// Baselines runs the comparison.
+func Baselines(cfg BaselinesConfig) (*BaselinesResult, error) {
+	if len(cfg.ScanSizes) == 0 {
+		cfg.ScanSizes = []int{16, 64, 256}
+	}
+	if cfg.Readers == 0 {
+		cfg.Readers = 4
+	}
+	if cfg.Updaters == 0 {
+		cfg.Updaters = 4
+	}
+	if cfg.Objects == 0 {
+		for _, s := range cfg.ScanSizes {
+			if s > cfg.Objects {
+				cfg.Objects = s
+			}
+		}
+	}
+	for _, s := range cfg.ScanSizes {
+		if s > cfg.Objects {
+			return nil, fmt.Errorf("experiments: scan size %d exceeds table size %d", s, cfg.Objects)
+		}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 150 * time.Millisecond
+	}
+	workers := cfg.Readers + cfg.Updaters
+	drivers := []*stmDriver{
+		lsaDriver("LSA-RT/counter", func(n int) timebase.TimeBase { return timebase.NewSharedCounter() }, workers),
+		lsaDriver("LSA-RT/clock", func(n int) timebase.TimeBase { return timebase.NewMMTimer(n) }, workers),
+		wordDriver(),
+		tl2Driver(),
+		rstmDriver(),
+	}
+	res := &BaselinesResult{
+		Table: stats.NewTable("stm", "scan size", "scans/s", "updates/s"),
+	}
+	for _, drv := range drivers {
+		for _, scan := range cfg.ScanSizes {
+			p, err := runBaselinePoint(drv, scan, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, p)
+			res.Table.AddRowf(p.STM, p.Scan,
+				fmt.Sprintf("%.0f", p.ScansPerS),
+				fmt.Sprintf("%.0f", p.UpdPerS))
+		}
+	}
+	return res, nil
+}
+
+// padCount is a per-worker counter padded to its own cache line.
+type padCount struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+func runBaselinePoint(drv *stmDriver, scan int, cfg BaselinesConfig) (BaselinesPoint, error) {
+	workers := cfg.Readers + cfg.Updaters
+	drv.setup(cfg.Objects, workers)
+	counts := make([]padCount, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			reader := id < cfg.Readers
+			for i := 0; !stop.Load(); i++ {
+				var err error
+				if reader {
+					err = drv.scan(id, scan)
+				} else {
+					err = drv.update(id)
+					if i%4096 == 4095 {
+						// Updaters yield periodically so they cannot
+						// monopolize a host with fewer cores than workers
+						// and starve the readers entirely; on real parallel
+						// hardware this is a no-op.
+						runtime.Gosched()
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("%s worker %d: %w", drv.name, id, err)
+					return
+				}
+				counts[id].n.Add(1)
+			}
+		}(id)
+	}
+	warmup := cfg.Warmup
+	if warmup == 0 {
+		warmup = cfg.Duration / 5
+	}
+	time.Sleep(warmup)
+	beforeR, beforeU := split(counts, cfg.Readers)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	afterR, afterU := split(counts, cfg.Readers)
+	el := time.Since(t0).Seconds()
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		return BaselinesPoint{}, err
+	}
+	return BaselinesPoint{
+		STM:       drv.name,
+		Scan:      scan,
+		ScansPerS: float64(afterR-beforeR) / el,
+		UpdPerS:   float64(afterU-beforeU) / el,
+	}, nil
+}
+
+func split(counts []padCount, readers int) (r, u uint64) {
+	for i := range counts {
+		if i < readers {
+			r += counts[i].n.Load()
+		} else {
+			u += counts[i].n.Load()
+		}
+	}
+	return r, u
+}

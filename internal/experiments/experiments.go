@@ -1,0 +1,198 @@
+// Package experiments implements the paper's evaluation (§4) as reusable,
+// parameterized experiment functions. Each function regenerates one figure
+// or claim:
+//
+//   - Fig1: MMTimer synchronization errors and offsets (Figure 1)
+//   - Fig2: time-base overhead for disjoint update transactions (Figure 2)
+//   - TL2Opt: the TL2 commit-timestamp-sharing comparison (§4.2)
+//   - SyncErrors: abort behaviour vs clock deviation (§4.3)
+//   - Baselines: LSA-RT vs validating/TL2 baselines on read-dominated scans
+//     (§1.2)
+//
+// The CLI (cmd/lsabench) and the root benchmark suite both drive these.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clocksync"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/hwclock"
+	"repro/internal/stats"
+	"repro/internal/timebase"
+	"repro/internal/workload"
+)
+
+// DefaultThreads is the paper's Figure 2 thread sweep.
+var DefaultThreads = []int{1, 2, 4, 6, 8, 12, 16}
+
+// DefaultSizes is the paper's Figure 2 transaction sizes (accesses per
+// update transaction).
+var DefaultSizes = []int{10, 50, 100}
+
+// NewTimeBase constructs a time base by name: "counter", "tl2counter",
+// "mmtimer", "ideal", or "extsync:<devTicks>".
+func NewTimeBase(name string, nodes int) (timebase.TimeBase, error) {
+	switch name {
+	case "counter":
+		return timebase.NewSharedCounter(), nil
+	case "tl2counter":
+		return timebase.NewTL2Counter(), nil
+	case "mmtimer":
+		return timebase.NewMMTimer(nodes), nil
+	case "ideal":
+		return timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(nodes))), nil
+	default:
+		var dev int64
+		if _, err := fmt.Sscanf(name, "extsync:%d", &dev); err == nil {
+			d := hwclock.New(hwclock.Config{TickHz: 1_000_000_000, Nodes: nodes, Seed: 1})
+			return timebase.NewExtSyncClockFrom(d, dev)
+		}
+		return nil, fmt.Errorf("experiments: unknown time base %q", name)
+	}
+}
+
+// Fig1Config parameterizes the clock-synchronization measurement.
+type Fig1Config struct {
+	// Nodes is the number of CPUs/clock registers (paper: 16).
+	Nodes int
+	// Rounds is the number of comparison rounds (the paper ran 4 hours at
+	// 0.1 s; we default to 100 back-to-back rounds).
+	Rounds int
+	// Interval between rounds.
+	Interval time.Duration
+	// OffsetTicks injects per-node clock offsets; 0 reproduces the paper's
+	// (synchronized) MMTimer.
+	OffsetTicks int64
+}
+
+// Fig1Result carries the measurement and its rendered table.
+type Fig1Result struct {
+	Measurement *clocksync.Result
+	Table       *stats.Table
+}
+
+// Fig1 runs the Figure 1 experiment.
+func Fig1(cfg Fig1Config) (*Fig1Result, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 16
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 100
+	}
+	dev := hwclock.New(hwclock.Config{
+		TickHz:           20_000_000,
+		ReadLatencyTicks: 7,
+		Nodes:            cfg.Nodes,
+		MaxOffsetTicks:   cfg.OffsetTicks,
+		Seed:             1,
+	})
+	res, err := clocksync.Measure(clocksync.Config{
+		Device:   dev,
+		Rounds:   cfg.Rounds,
+		Interval: cfg.Interval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("round", "max|offset| (ticks)", "max error (ticks)", "max err+|off| (ticks)")
+	for _, rr := range res.Rounds {
+		tbl.AddRowf(rr.Round, rr.MaxAbsOffset, rr.MaxError, rr.MaxErrorPlusOffset)
+	}
+	return &Fig1Result{Measurement: res, Table: tbl}, nil
+}
+
+// Fig2Config parameterizes the time-base overhead experiment.
+type Fig2Config struct {
+	// Sizes are the transaction sizes (objects updated per transaction).
+	Sizes []int
+	// Threads is the worker sweep.
+	Threads []int
+	// TimeBases are the bases to compare (default counter and mmtimer).
+	TimeBases []string
+	// Duration is the measured interval per point.
+	Duration time.Duration
+	// Warmup before each measurement.
+	Warmup time.Duration
+}
+
+// Fig2Point is one measured point of a Figure 2 series.
+type Fig2Point struct {
+	Size     int
+	TimeBase string
+	Threads  int
+	MTxPerS  float64 // 10⁶ transactions per second, the paper's unit
+	Result   harness.Result
+}
+
+// Fig2Result groups all points and the rendered table.
+type Fig2Result struct {
+	Points []Fig2Point
+	Table  *stats.Table
+}
+
+// Fig2 runs the Figure 2 experiment: disjoint update transactions of each
+// size, on each time base, across the thread sweep.
+func Fig2(cfg Fig2Config) (*Fig2Result, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultSizes
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = DefaultThreads
+	}
+	if len(cfg.TimeBases) == 0 {
+		cfg.TimeBases = []string{"counter", "mmtimer"}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	res := &Fig2Result{
+		Table: stats.NewTable("accesses", "timebase", "threads", "tx/s", "Mtx/s", "aborts/attempt"),
+	}
+	for _, size := range cfg.Sizes {
+		for _, tbName := range cfg.TimeBases {
+			for _, threads := range cfg.Threads {
+				tb, err := NewTimeBase(tbName, threads)
+				if err != nil {
+					return nil, err
+				}
+				rt, err := core.NewRuntime(core.Config{TimeBase: tb})
+				if err != nil {
+					return nil, err
+				}
+				w := &workload.Disjoint{Accesses: size}
+				r, err := harness.Run(rt, w, harness.Options{
+					Workers:  threads,
+					Duration: cfg.Duration,
+					Warmup:   cfg.Warmup,
+				})
+				if err != nil {
+					return nil, err
+				}
+				p := Fig2Point{
+					Size:     size,
+					TimeBase: r.TimeBase,
+					Threads:  threads,
+					MTxPerS:  r.Throughput / 1e6,
+					Result:   r,
+				}
+				res.Points = append(res.Points, p)
+				res.Table.AddRowf(size, r.TimeBase, threads,
+					fmt.Sprintf("%.0f", r.Throughput),
+					fmt.Sprintf("%.4f", p.MTxPerS),
+					fmt.Sprintf("%.4f", r.Stats.AbortRate()))
+			}
+		}
+	}
+	return res, nil
+}
+
+// TL2Opt runs the §4.2 counter-optimization comparison: the Figure 2
+// workload on the plain shared counter versus the TL2-style sharing
+// counter.
+func TL2Opt(cfg Fig2Config) (*Fig2Result, error) {
+	cfg.TimeBases = []string{"counter", "tl2counter"}
+	return Fig2(cfg)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/simmachine"
+	"repro/internal/stats"
+)
+
+// Fig2SimConfig parameterizes the simulated-multiprocessor version of
+// Figure 2. The real-STM Fig2 exercises the actual engine but can only show
+// scalability on real parallel hardware; this variant regenerates the
+// paper's curves on any host by replaying the workload's time-base access
+// pattern through the calibrated coherence cost model (see
+// internal/simmachine).
+type Fig2SimConfig struct {
+	// Sizes are the transaction sizes (default 10, 50, 100).
+	Sizes []int
+	// Threads is the simulated CPU sweep (default 1,2,4,6,8,12,16).
+	Threads []int
+	// TimeBases are the simulated bases (default counter and hardware
+	// clock).
+	TimeBases []simmachine.TimeBaseKind
+	// DurationNs is the simulated horizon per point (default 50 ms).
+	DurationNs int64
+	// Costs overrides the cost model (zero → calibrated defaults).
+	Costs simmachine.CostModel
+}
+
+// Fig2SimPoint is one simulated point.
+type Fig2SimPoint struct {
+	Size     int
+	TimeBase string
+	Threads  int
+	MTxPerS  float64
+	Result   simmachine.Result
+}
+
+// Fig2SimResult groups all points with a rendered table.
+type Fig2SimResult struct {
+	Points []Fig2SimPoint
+	Table  *stats.Table
+}
+
+// Fig2Sim runs the simulated Figure 2.
+func Fig2Sim(cfg Fig2SimConfig) (*Fig2SimResult, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultSizes
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = DefaultThreads
+	}
+	if len(cfg.TimeBases) == 0 {
+		cfg.TimeBases = []simmachine.TimeBaseKind{simmachine.Counter, simmachine.HWClock}
+	}
+	if cfg.DurationNs == 0 {
+		cfg.DurationNs = 50_000_000
+	}
+	res := &Fig2SimResult{
+		Table: stats.NewTable("accesses", "timebase", "cpus", "Mtx/s", "counter transfers"),
+	}
+	for _, size := range cfg.Sizes {
+		for _, tb := range cfg.TimeBases {
+			for _, cpus := range cfg.Threads {
+				r, err := simmachine.Run(simmachine.Config{
+					CPUs:     cpus,
+					TimeBase: tb,
+					Accesses: size,
+					Duration: cfg.DurationNs,
+					Costs:    cfg.Costs,
+				})
+				if err != nil {
+					return nil, err
+				}
+				p := Fig2SimPoint{
+					Size:     size,
+					TimeBase: tb.String(),
+					Threads:  cpus,
+					MTxPerS:  r.TxPerSec / 1e6,
+					Result:   r,
+				}
+				res.Points = append(res.Points, p)
+				res.Table.AddRowf(size, p.TimeBase, cpus,
+					fmt.Sprintf("%.4f", p.MTxPerS), r.CounterTransfers)
+			}
+		}
+	}
+	return res, nil
+}

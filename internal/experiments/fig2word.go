@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wordstm"
+)
+
+// Fig2Word runs the Figure 2 workload on the word-based LSA engine: §1.1
+// states the time-based approach applies to word-based STMs unchanged, and
+// this experiment demonstrates it — the same disjoint-update sweep, the
+// same pluggable time bases, a different memory representation. Only exact
+// bases are eligible (lock words cannot carry deviations).
+func Fig2Word(cfg Fig2Config) (*Fig2Result, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultSizes
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = DefaultThreads
+	}
+	if len(cfg.TimeBases) == 0 {
+		cfg.TimeBases = []string{"counter", "mmtimer"}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	res := &Fig2Result{
+		Table: stats.NewTable("accesses", "timebase", "threads", "tx/s", "Mtx/s"),
+	}
+	for _, size := range cfg.Sizes {
+		for _, tbName := range cfg.TimeBases {
+			for _, threads := range cfg.Threads {
+				p, err := runFig2WordPoint(tbName, size, threads, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, p)
+				res.Table.AddRowf(size, p.TimeBase, threads,
+					fmt.Sprintf("%.0f", p.MTxPerS*1e6),
+					fmt.Sprintf("%.4f", p.MTxPerS))
+			}
+		}
+	}
+	return res, nil
+}
+
+func runFig2WordPoint(tbName string, size, threads int, cfg Fig2Config) (Fig2Point, error) {
+	tb, err := NewTimeBase(tbName, threads)
+	if err != nil {
+		return Fig2Point{}, err
+	}
+	// Per-worker private regions, twice the transaction size, as in the
+	// object-based workload.
+	region := 2 * size
+	s, err := wordstm.New(tb, threads*region)
+	if err != nil {
+		return Fig2Point{}, err
+	}
+	var stop atomic.Bool
+	counts := make([]padCount, threads)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.Thread(id)
+			base := id * region
+			offset := 0
+			for !stop.Load() {
+				start := offset
+				offset = (offset + size) % region
+				err := th.Run(func(tx *wordstm.Tx) error {
+					for i := 0; i < size; i++ {
+						a := wordstm.Addr(base + (start+i)%region)
+						v, err := tx.Load(a)
+						if err != nil {
+							return err
+						}
+						if err := tx.Store(a, v+1); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- fmt.Errorf("fig2word worker %d: %w", id, err)
+					return
+				}
+				counts[id].n.Add(1)
+			}
+		}(id)
+	}
+	warmup := cfg.Warmup
+	if warmup == 0 {
+		warmup = cfg.Duration / 5
+	}
+	time.Sleep(warmup)
+	before := uint64(0)
+	for i := range counts {
+		before += counts[i].n.Load()
+	}
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	after := uint64(0)
+	for i := range counts {
+		after += counts[i].n.Load()
+	}
+	el := time.Since(t0).Seconds()
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		return Fig2Point{}, err
+	}
+	tput := float64(after-before) / el
+	return Fig2Point{
+		Size:     size,
+		TimeBase: tb.Name() + "/word",
+		Threads:  threads,
+		MTxPerS:  tput / 1e6,
+	}, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/hwclock"
+	"repro/internal/stats"
+	"repro/internal/timebase"
+)
+
+// SyncErrorsConfig parameterizes the §4.3 experiment: how the advertised
+// clock deviation affects abort rates and throughput. The underlying device
+// is kept (near-)perfect; only the advertised bound grows, which is exactly
+// the effect of a poorly synchronized clock: validity ranges shrink by dev
+// at each end and 2·dev gaps open between versions.
+type SyncErrorsConfig struct {
+	// Deviations are the advertised bounds in ticks (on a 1 GHz device,
+	// ticks are nanoseconds). 0 means "use the perfect clock instead".
+	Deviations []int64
+	// Threads is the worker count (default 8).
+	Threads int
+	// MaxVersions compares history depths (default [1, 8]: single-version
+	// STMs only lose the start of ranges; multi-version STMs lose both ends,
+	// §4.3).
+	MaxVersions []int
+	// Duration per measured point.
+	Duration time.Duration
+	// Warmup before each measurement.
+	Warmup time.Duration
+}
+
+// SyncErrorsPoint is one measured point.
+type SyncErrorsPoint struct {
+	Deviation   int64
+	MaxVersions int
+	Throughput  float64
+	AbortRate   float64
+	Snapshot    uint64 // snapshot aborts (the §4.3 failure mode)
+	Result      harness.Result
+}
+
+// SyncErrorsResult groups all points with a rendered table.
+type SyncErrorsResult struct {
+	Points []SyncErrorsPoint
+	Table  *stats.Table
+}
+
+// readWriteMix is a contended workload whose read-only transactions scan a
+// window of shared objects while update transactions rewrite them — the
+// configuration in which shrunken validity ranges actually bite.
+type readWriteMix struct {
+	objects int
+	scan    int
+	objs    []*core.Object
+}
+
+func (m *readWriteMix) Name() string { return fmt.Sprintf("rwmix/%d", m.objects) }
+
+func (m *readWriteMix) Init(rt *core.Runtime, workers int) error {
+	m.objs = make([]*core.Object, m.objects)
+	for i := range m.objs {
+		m.objs[i] = core.NewObject(0)
+	}
+	return nil
+}
+
+func (m *readWriteMix) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+	n := 0
+	return func() error {
+		n++
+		if id%2 == 0 {
+			// Updater: rewrite one object.
+			o := m.objs[(id*7+n)%len(m.objs)]
+			return th.Run(func(tx *core.Tx) error {
+				v, err := tx.Read(o)
+				if err != nil {
+					return err
+				}
+				return tx.Write(o, v.(int)+1)
+			})
+		}
+		// Reader: scan a window read-only.
+		start := (id*13 + n) % len(m.objs)
+		return th.RunReadOnly(func(tx *core.Tx) error {
+			for i := 0; i < m.scan; i++ {
+				if _, err := tx.Read(m.objs[(start+i)%len(m.objs)]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// SyncErrors runs the §4.3 experiment.
+func SyncErrors(cfg SyncErrorsConfig) (*SyncErrorsResult, error) {
+	if len(cfg.Deviations) == 0 {
+		cfg.Deviations = []int64{0, 100, 1_000, 10_000, 100_000, 1_000_000}
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = 8
+	}
+	if len(cfg.MaxVersions) == 0 {
+		cfg.MaxVersions = []int{1, 8}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	res := &SyncErrorsResult{
+		Table: stats.NewTable("dev (ticks)", "versions", "tx/s", "aborts/attempt", "snapshot aborts"),
+	}
+	for _, mv := range cfg.MaxVersions {
+		for _, dev := range cfg.Deviations {
+			var tb timebase.TimeBase
+			if dev == 0 {
+				tb = timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(cfg.Threads)))
+			} else {
+				d := hwclock.New(hwclock.Config{TickHz: 1_000_000_000, Nodes: cfg.Threads, Seed: 1})
+				etb, err := timebase.NewExtSyncClockFrom(d, dev)
+				if err != nil {
+					return nil, err
+				}
+				tb = etb
+			}
+			rt, err := core.NewRuntime(core.Config{TimeBase: tb, MaxVersions: mv})
+			if err != nil {
+				return nil, err
+			}
+			w := &readWriteMix{objects: 64, scan: 16}
+			r, err := harness.Run(rt, w, harness.Options{
+				Workers:  cfg.Threads,
+				Duration: cfg.Duration,
+				Warmup:   cfg.Warmup,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p := SyncErrorsPoint{
+				Deviation:   dev,
+				MaxVersions: mv,
+				Throughput:  r.Throughput,
+				AbortRate:   r.Stats.AbortRate(),
+				Snapshot:    r.Stats.AbortSnapshot,
+				Result:      r,
+			}
+			res.Points = append(res.Points, p)
+			res.Table.AddRowf(dev, mv,
+				fmt.Sprintf("%.0f", p.Throughput),
+				fmt.Sprintf("%.4f", p.AbortRate),
+				p.Snapshot)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+// Package harness drives throughput experiments over the LSA-RT engine:
+// it spins up worker goroutines, runs a workload for a fixed duration with
+// warmup, and reports committed transactions per second — the measurement
+// protocol behind the paper's Figure 2.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Workload is a benchmarkable transaction mix.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Init allocates the shared objects for a run with the given worker
+	// count. It is called once per Run, before any worker starts.
+	Init(rt *core.Runtime, workers int) error
+	// Step returns the function executed repeatedly by worker id. Each call
+	// must run exactly one (retried-until-committed) transaction. The
+	// returned closure may keep per-worker state; it is called from a
+	// single goroutine.
+	Step(rt *core.Runtime, th *core.Thread, id int) func() error
+}
+
+// Options configure a measurement run.
+type Options struct {
+	// Workers is the number of concurrent worker goroutines. Must be ≥ 1.
+	Workers int
+	// Duration is the measured interval. Must be > 0.
+	Duration time.Duration
+	// Warmup runs the workload before measurement starts (default: 20% of
+	// Duration).
+	Warmup time.Duration
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Workload and TimeBase identify the configuration.
+	Workload string
+	TimeBase string
+	// Workers is the worker count.
+	Workers int
+	// Elapsed is the measured wall-clock interval.
+	Elapsed time.Duration
+	// Txs is the number of transactions committed inside the interval.
+	Txs uint64
+	// Throughput is Txs per second.
+	Throughput float64
+	// Stats are the engine counters accumulated over the whole run
+	// (including warmup).
+	Stats core.Stats
+}
+
+// String renders the result on one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s workers=%d tx/s=%.0f (aborts/attempt=%.3f)",
+		r.Workload, r.TimeBase, r.Workers, r.Throughput, r.Stats.AbortRate())
+}
+
+// padCounter is a per-worker committed-transaction counter on its own cache
+// line, so counting does not perturb the contention under study.
+type padCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Run executes the workload and measures steady-state throughput.
+func Run(rt *core.Runtime, w Workload, opt Options) (Result, error) {
+	if opt.Workers < 1 {
+		return Result{}, fmt.Errorf("harness: Workers must be ≥ 1, got %d", opt.Workers)
+	}
+	if opt.Duration <= 0 {
+		return Result{}, fmt.Errorf("harness: Duration must be positive, got %v", opt.Duration)
+	}
+	warmup := opt.Warmup
+	if warmup == 0 {
+		warmup = opt.Duration / 5
+	}
+	if err := w.Init(rt, opt.Workers); err != nil {
+		return Result{}, fmt.Errorf("harness: init %s: %w", w.Name(), err)
+	}
+
+	counters := make([]padCounter, opt.Workers)
+	var stop atomic.Bool
+	var start sync.WaitGroup
+	var done sync.WaitGroup
+	errs := make(chan error, opt.Workers)
+	start.Add(1)
+	for id := 0; id < opt.Workers; id++ {
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			th := rt.Thread(id)
+			step := w.Step(rt, th, id)
+			start.Wait()
+			for !stop.Load() {
+				if err := step(); err != nil {
+					errs <- fmt.Errorf("worker %d: %w", id, err)
+					return
+				}
+				counters[id].n.Add(1)
+			}
+		}(id)
+	}
+
+	start.Done()
+	time.Sleep(warmup)
+	before := snapshot(counters)
+	t0 := time.Now()
+	time.Sleep(opt.Duration)
+	after := snapshot(counters)
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	done.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		return Result{}, err
+	}
+
+	txs := after - before
+	return Result{
+		Workload:   w.Name(),
+		TimeBase:   rt.TimeBase().Name(),
+		Workers:    opt.Workers,
+		Elapsed:    elapsed,
+		Txs:        txs,
+		Throughput: float64(txs) / elapsed.Seconds(),
+		Stats:      rt.Stats(),
+	}, nil
+}
+
+func snapshot(cs []padCounter) uint64 {
+	var total uint64
+	for i := range cs {
+		total += cs[i].n.Load()
+	}
+	return total
+}
+
+// Sweep runs the workload at each worker count with a fresh runtime built
+// by mkRuntime, returning one Result per point. This is the Figure 2 inner
+// loop: same workload, growing thread count, fixed time base.
+func Sweep(mkRuntime func() (*core.Runtime, error), w Workload, workerCounts []int, opt Options) ([]Result, error) {
+	results := make([]Result, 0, len(workerCounts))
+	for _, n := range workerCounts {
+		rt, err := mkRuntime()
+		if err != nil {
+			return nil, err
+		}
+		o := opt
+		o.Workers = n
+		r, err := Run(rt, w, o)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/timebase"
+	"repro/internal/workload"
+)
+
+func mkCounterRT() (*core.Runtime, error) {
+	return core.NewRuntime(core.Config{TimeBase: timebase.NewSharedCounter()})
+}
+
+func TestRunValidation(t *testing.T) {
+	rt, _ := mkCounterRT()
+	w := &workload.Disjoint{Accesses: 2}
+	if _, err := Run(rt, w, Options{Workers: 0, Duration: time.Millisecond}); err == nil {
+		t.Error("zero workers must be rejected")
+	}
+	if _, err := Run(rt, w, Options{Workers: 1, Duration: 0}); err == nil {
+		t.Error("zero duration must be rejected")
+	}
+}
+
+func TestRunMeasuresThroughput(t *testing.T) {
+	rt, _ := mkCounterRT()
+	w := &workload.Disjoint{Accesses: 4}
+	res, err := Run(rt, w, Options{Workers: 2, Duration: 50 * time.Millisecond, Warmup: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txs == 0 {
+		t.Error("no transactions measured")
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+	if res.Workers != 2 || res.Workload != "disjoint/4" || res.TimeBase != "SharedCounter" {
+		t.Errorf("metadata wrong: %+v", res)
+	}
+	if res.String() == "" {
+		t.Error("empty Result string")
+	}
+}
+
+func TestRunPropagatesInitError(t *testing.T) {
+	rt, _ := mkCounterRT()
+	w := &workload.Disjoint{Accesses: -1}
+	if _, err := Run(rt, w, Options{Workers: 1, Duration: time.Millisecond}); err == nil {
+		t.Error("init error must propagate")
+	}
+}
+
+// failingWorkload errors on the third step of worker 0.
+type failingWorkload struct{ boom error }
+
+func (f *failingWorkload) Name() string                             { return "failing" }
+func (f *failingWorkload) Init(rt *core.Runtime, workers int) error { return nil }
+func (f *failingWorkload) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+	n := 0
+	return func() error {
+		if id == 0 {
+			if n++; n == 3 {
+				return f.boom
+			}
+		}
+		return nil
+	}
+}
+
+func TestRunPropagatesStepError(t *testing.T) {
+	rt, _ := mkCounterRT()
+	boom := errors.New("boom")
+	_, err := Run(rt, &failingWorkload{boom: boom}, Options{Workers: 2, Duration: 30 * time.Millisecond, Warmup: time.Millisecond})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	w := &workload.Disjoint{Accesses: 2}
+	results, err := Sweep(mkCounterRT, w, []int{1, 2}, Options{Duration: 30 * time.Millisecond, Warmup: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	if results[0].Workers != 1 || results[1].Workers != 2 {
+		t.Errorf("worker counts wrong: %d, %d", results[0].Workers, results[1].Workers)
+	}
+}

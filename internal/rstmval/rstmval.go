@@ -1,0 +1,207 @@
+// Package rstmval is a validating STM baseline in the style the paper
+// attributes to RSTM (§1.2): single-version objects, invisible reads, and
+// consistency maintained by validation — re-checking that every previously
+// read object is unchanged — on each access.
+//
+// Naive per-access validation costs O(reads so far), so the total read
+// overhead grows quadratically with transaction size. RSTM's heuristic
+// bounds this: a global "commit counter" counts attempted commits of update
+// transactions; a transaction revalidates only when the counter has moved
+// since its last check. The price is exactly what §1.2 points out: the
+// counter must be read on every object access, so even fully disjoint
+// updates drag a shared cache line through every reader — the
+// reproduction's baselines experiment measures that effect against LSA-RT.
+package rstmval
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrAborted signals that the transaction attempt failed and was retried.
+var ErrAborted = errors.New("rstmval: transaction aborted")
+
+// ErrReadOnly is returned by Write inside a read-only transaction.
+var ErrReadOnly = errors.New("rstmval: write inside read-only transaction")
+
+// STM is a validating-STM universe with its global commit counter.
+type STM struct {
+	_  [64]byte
+	cc atomic.Int64 // attempted update commits
+	_  [64]byte
+}
+
+// New creates a universe.
+func New() *STM { return &STM{} }
+
+// CommitCounter exposes the heuristic counter, for tests.
+func (s *STM) CommitCounter() int64 { return s.cc.Load() }
+
+// Object is a single-version cell: a versioned lock word (version<<1|locked)
+// and the value.
+type Object struct {
+	meta atomic.Int64
+	val  atomic.Pointer[any]
+}
+
+// NewObject creates an object at version 0 holding initial.
+func NewObject(initial any) *Object {
+	o := &Object{}
+	v := initial
+	o.val.Store(&v)
+	return o
+}
+
+func locked(meta int64) bool { return meta&1 == 1 }
+
+// Tx is one transaction attempt.
+type Tx struct {
+	stm      *STM
+	readOnly bool
+	lastCC   int64
+	reads    []readEntry
+	writes   []writeEntry
+	windex   map[*Object]int
+}
+
+type readEntry struct {
+	obj  *Object
+	meta int64 // version word observed at first read
+}
+
+type writeEntry struct {
+	obj *Object
+	val any
+}
+
+// Read opens the object, revalidating the read set first if the commit
+// counter indicates system progress since the last check.
+func (tx *Tx) Read(o *Object) (any, error) {
+	if idx, ok := tx.windex[o]; ok {
+		return tx.writes[idx].val, nil
+	}
+	// The heuristic: read the global counter on *every* access; skip
+	// validation while it is unchanged.
+	if cc := tx.stm.cc.Load(); cc != tx.lastCC {
+		if !tx.validate() {
+			return nil, ErrAborted
+		}
+		tx.lastCC = cc
+	}
+	m1 := o.meta.Load()
+	if locked(m1) {
+		return nil, ErrAborted
+	}
+	vp := o.val.Load()
+	if o.meta.Load() != m1 {
+		return nil, ErrAborted
+	}
+	tx.reads = append(tx.reads, readEntry{obj: o, meta: m1})
+	return *vp, nil
+}
+
+// validate checks that every read object is unchanged (and unlocked).
+func (tx *Tx) validate() bool {
+	for _, r := range tx.reads {
+		m := r.obj.meta.Load()
+		if m != r.meta {
+			if _, own := tx.windex[r.obj]; own && m == r.meta|1 {
+				continue // locked by ourselves during commit
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// Write buffers the new value; it becomes visible at commit.
+func (tx *Tx) Write(o *Object, val any) error {
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if idx, ok := tx.windex[o]; ok {
+		tx.writes[idx].val = val
+		return nil
+	}
+	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+	if tx.windex == nil {
+		tx.windex = make(map[*Object]int, 8)
+	}
+	tx.windex[o] = len(tx.writes) - 1
+	return nil
+}
+
+// commit locks the write set, signals progress on the commit counter,
+// validates the read set, and installs the new values.
+func (tx *Tx) commit() error {
+	if len(tx.writes) == 0 {
+		// Read-only (or write-free) transactions validated incrementally;
+		// one final check makes the snapshot current at commit.
+		if !tx.validate() {
+			return ErrAborted
+		}
+		return nil
+	}
+	lockedUpTo := -1
+	for i := range tx.writes {
+		o := tx.writes[i].obj
+		m := o.meta.Load()
+		if locked(m) || !o.meta.CompareAndSwap(m, m|1) {
+			tx.unlock(lockedUpTo)
+			return ErrAborted
+		}
+		lockedUpTo = i
+	}
+	// Announce the attempted commit: this is what other transactions'
+	// heuristics poll.
+	tx.stm.cc.Add(1)
+	if !tx.validate() {
+		tx.unlock(lockedUpTo)
+		return ErrAborted
+	}
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		v := w.val
+		w.obj.val.Store(&v)
+		w.obj.meta.Store((w.obj.meta.Load() >> 1 << 1) + 2) // version+1, unlocked
+	}
+	return nil
+}
+
+// unlock releases write locks [0..upTo] after a failed commit.
+func (tx *Tx) unlock(upTo int) {
+	for i := 0; i <= upTo; i++ {
+		o := tx.writes[i].obj
+		o.meta.Store(o.meta.Load() &^ 1)
+	}
+}
+
+// Thread is a worker context (API-compatible shape with the core engine).
+type Thread struct {
+	stm *STM
+}
+
+// Thread creates a worker context.
+func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
+
+// Run executes fn transactionally, retrying on aborts.
+func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
+
+// RunReadOnly executes fn as a read-only transaction (writes rejected).
+func (t *Thread) RunReadOnly(fn func(*Tx) error) error { return t.run(true, fn) }
+
+func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
+	for {
+		tx := &Tx{stm: t.stm, readOnly: readOnly, lastCC: t.stm.cc.Load()}
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit()
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+}

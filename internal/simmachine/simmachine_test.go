@@ -1,0 +1,133 @@
+package simmachine
+
+import "testing"
+
+const ms = int64(1_000_000) // simulated nanoseconds per millisecond
+
+func run(t *testing.T, cpus int, tb TimeBaseKind, accesses int) Result {
+	t.Helper()
+	r, err := Run(Config{CPUs: cpus, TimeBase: tb, Accesses: accesses, Duration: 20 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{CPUs: 0, Accesses: 1, Duration: ms}); err == nil {
+		t.Error("zero CPUs must be rejected")
+	}
+	if _, err := Run(Config{CPUs: 1, Accesses: 0, Duration: ms}); err == nil {
+		t.Error("zero accesses must be rejected")
+	}
+	if _, err := Run(Config{CPUs: 1, Accesses: 1, Duration: 0}); err == nil {
+		t.Error("zero duration must be rejected")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[TimeBaseKind]string{
+		Counter: "SimCounter", TL2Counter: "SimTL2Counter", HWClock: "SimMMTimer",
+		TimeBaseKind(9): "invalid",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestClockScalesLinearly(t *testing.T) {
+	// Figure 2's right-hand behaviour: with the hardware clock, throughput
+	// grows nearly linearly in the CPU count (disjoint work, no shared
+	// state).
+	base := run(t, 1, HWClock, 10)
+	sixteen := run(t, 16, HWClock, 10)
+	speedup := sixteen.TxPerSec / base.TxPerSec
+	if speedup < 14 || speedup > 16.5 {
+		t.Errorf("16-CPU clock speedup = %.2f, want ≈16", speedup)
+	}
+	if sixteen.CounterTransfers != 0 {
+		t.Errorf("clock run produced %d counter transfers", sixteen.CounterTransfers)
+	}
+}
+
+func TestCounterSaturates(t *testing.T) {
+	// Figure 2's left-hand behaviour: the shared counter caps total commit
+	// throughput; beyond a few CPUs, adding more does not help.
+	eight := run(t, 8, Counter, 10)
+	sixteen := run(t, 16, Counter, 10)
+	if gain := sixteen.TxPerSec / eight.TxPerSec; gain > 1.3 {
+		t.Errorf("counter gained %.2fx from 8→16 CPUs; should be saturated", gain)
+	}
+	// And the clock beats the counter by a wide margin at 16 CPUs.
+	clock := run(t, 16, HWClock, 10)
+	if clock.TxPerSec < 2*sixteen.TxPerSec {
+		t.Errorf("at 16 CPUs clock (%.0f tx/s) should dominate counter (%.0f tx/s)",
+			clock.TxPerSec, sixteen.TxPerSec)
+	}
+}
+
+func TestSingleThreadClockOverhead(t *testing.T) {
+	// §4.2: "For very short transactions, MMTimer's overhead decreases
+	// throughput in the single-threaded case."
+	counter := run(t, 1, Counter, 10)
+	clock := run(t, 1, HWClock, 10)
+	if clock.TxPerSec >= counter.TxPerSec {
+		t.Errorf("single-thread: clock (%.0f) should be slower than counter (%.0f) at 10 accesses",
+			clock.TxPerSec, counter.TxPerSec)
+	}
+}
+
+func TestGapNarrowsWithTransactionSize(t *testing.T) {
+	// §4.2: "the influence of the shared counter decreases when
+	// transactions get larger."
+	ratioAt := func(accesses int) float64 {
+		clock := run(t, 16, HWClock, accesses)
+		counter := run(t, 16, Counter, accesses)
+		return clock.TxPerSec / counter.TxPerSec
+	}
+	r10, r100 := ratioAt(10), ratioAt(100)
+	if r100 >= r10 {
+		t.Errorf("clock/counter ratio should shrink with size: 10 accesses %.2f, 100 accesses %.2f", r10, r100)
+	}
+}
+
+func TestTL2CounterNoAdvantage(t *testing.T) {
+	// §4.2: the TL2 optimization "showed no advantages on our hardware" —
+	// the line transfer, not the retry serialization, is the bottleneck.
+	plain := run(t, 16, Counter, 10)
+	tl2 := run(t, 16, TL2Counter, 10)
+	ratio := tl2.TxPerSec / plain.TxPerSec
+	if ratio < 0.8 || ratio > 1.6 {
+		t.Errorf("TL2 counter ratio = %.2f; expected no dramatic advantage", ratio)
+	}
+}
+
+func TestMoreCPUsNeverNegative(t *testing.T) {
+	for _, tb := range []TimeBaseKind{Counter, TL2Counter, HWClock} {
+		for _, cpus := range []int{1, 2, 4, 6, 8, 12, 16} {
+			r := run(t, cpus, tb, 50)
+			if r.Txs <= 0 {
+				t.Errorf("%v cpus=%d: no transactions", tb, cpus)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, 8, Counter, 10)
+	b := run(t, 8, Counter, 10)
+	if a.Txs != b.Txs || a.CounterTransfers != b.CounterTransfers {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDefaultCostsApplied(t *testing.T) {
+	r, err := Run(Config{CPUs: 1, TimeBase: HWClock, Accesses: 1, Duration: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config.Costs != DefaultCosts() {
+		t.Errorf("zero cost model not defaulted: %+v", r.Config.Costs)
+	}
+}

@@ -1,0 +1,60 @@
+package timebase
+
+import "testing"
+
+// FuzzComparatorInvariants drives the ⪰/≿/Max/Min operators with arbitrary
+// timestamp pairs and checks the invariants that hold at the operator level
+// regardless of hidden real times. Deviations are normalized per clock ID
+// (a clock advertises one bound), matching how time bases issue timestamps.
+func FuzzComparatorInvariants(f *testing.F) {
+	f.Add(int64(5), int32(0), int64(7), int32(0))
+	f.Add(int64(10), int32(1), int64(12), int32(2))
+	f.Add(int64(100), int32(-1), int64(100), int32(-1))
+	f.Add(int64(1), int32(3), int64(1<<40), int32(3))
+	f.Fuzz(func(t *testing.T, ts1 int64, cid1 int32, ts2 int64, cid2 int32) {
+		norm := func(ts int64, cid int32) Timestamp {
+			if ts < 0 {
+				ts = -ts
+			}
+			ts = ts%1_000_000 + 1
+			switch {
+			case cid == CIDExact:
+				return Exact(ts)
+			case cid < 0:
+				return Timestamp{TS: ts, CID: CIDUndefined, Dev: 7}
+			default:
+				cid = cid%8 + 1
+				return Timestamp{TS: ts, CID: cid, Dev: int64(3 * cid)}
+			}
+		}
+		a, b := norm(ts1, cid1), norm(ts2, cid2)
+
+		// ⪰ and ≿ are complementary in the required direction (§2.1):
+		// b ⪰ a ⟹ ¬(a ≿ b), and a ≿ b ⟹ ¬(b ⪰ a).
+		if b.LaterEq(a) && a.PossiblyLater(b) {
+			t.Fatalf("%v ⪰ %v and %v ≿ %v simultaneously", b, a, a, b)
+		}
+		// At least one direction of "possibly later" always holds.
+		if !a.PossiblyLater(b) && !b.PossiblyLater(a) && !a.LaterEq(b) && !b.LaterEq(a) {
+			t.Fatalf("no relation at all between %v and %v", a, b)
+		}
+		// Max dominates in the pessimistic upper bound; Min in the lower.
+		m, n := Max(a, b), Min(a, b)
+		if m.Upper() < a.Upper() && m.Upper() < b.Upper() {
+			t.Fatalf("Max(%v,%v) = %v has smaller upper bound than both", a, b, m)
+		}
+		if n.Lower() > a.Lower() && n.Lower() > b.Lower() {
+			t.Fatalf("Min(%v,%v) = %v has larger lower bound than both", a, b, n)
+		}
+		// Max/Min never return sentinels unless an argument was one.
+		if m.IsInf() || m.IsNegInf() || n.IsInf() || n.IsNegInf() {
+			t.Fatalf("sentinel from Max/Min of %v, %v", a, b)
+		}
+		// Exact timestamps must degenerate to plain comparisons.
+		if a.CID == CIDExact && b.CID == CIDExact {
+			if a.LaterEq(b) != (a.TS >= b.TS) {
+				t.Fatalf("exact ⪰ disagrees with ≥ for %v, %v", a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package timebase
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genTS produces a random timestamp mixing exact, imprecise, and undefined
+// clock IDs in a small value range so comparisons of all flavours occur.
+// Each clock ID always carries the same deviation — a clock advertises one
+// bound — which is what makes ⪰ transitive at the operator level; timestamps
+// with an erased clock ID may carry any deviation.
+func genTS(r *rand.Rand) Timestamp {
+	switch r.Intn(5) {
+	case 0:
+		return Exact(r.Int63n(100) + 1)
+	case 1:
+		return Timestamp{TS: r.Int63n(100) + 1, CID: CIDUndefined, Dev: r.Int63n(10)}
+	default:
+		cid := int32(1 + r.Intn(4))
+		return Timestamp{TS: r.Int63n(100) + 1, CID: cid, Dev: int64(2 + 3*cid)}
+	}
+}
+
+// quickCfg makes testing/quick generate Timestamps via genTS.
+var quickCfg = &quick.Config{
+	MaxCount: 5000,
+	Values: func(args []reflect.Value, r *rand.Rand) {
+		for i := range args {
+			args[i] = reflect.ValueOf(genTS(r))
+		}
+	},
+}
+
+func TestExactOrdering(t *testing.T) {
+	a, b := Exact(5), Exact(7)
+	if !b.LaterEq(a) {
+		t.Errorf("7 ⪰ 5 must hold for exact timestamps")
+	}
+	if a.LaterEq(b) {
+		t.Errorf("5 ⪰ 7 must not hold")
+	}
+	if !a.LaterEq(a) {
+		t.Errorf("⪰ must be reflexive for exact timestamps")
+	}
+	if a.PossiblyLater(b) {
+		t.Errorf("5 ≿ 7 must not hold: 7 is guaranteed later")
+	}
+	if !b.PossiblyLater(a) {
+		t.Errorf("7 ≿ 5 must hold")
+	}
+}
+
+func TestInfinitySentinel(t *testing.T) {
+	if !Inf.IsInf() {
+		t.Fatal("Inf must report IsInf")
+	}
+	for _, ts := range []Timestamp{Exact(1), Exact(1 << 40), {TS: 3, CID: 2, Dev: 100}} {
+		if !Inf.LaterEq(ts) {
+			t.Errorf("∞ ⪰ %v must hold", ts)
+		}
+		if ts.LaterEq(Inf) {
+			t.Errorf("%v ⪰ ∞ must not hold", ts)
+		}
+		if !ts.PossiblyLater(Zero) {
+			t.Errorf("%v ≿ 0 must hold", ts)
+		}
+	}
+	if !Inf.LaterEq(Inf) {
+		t.Error("∞ ⪰ ∞ must hold")
+	}
+}
+
+func TestDeviationMasking(t *testing.T) {
+	// Two timestamps from different clocks with deviation 5 each: guaranteed
+	// order requires a gap larger than the combined deviations.
+	a := Timestamp{TS: 10, CID: 1, Dev: 5}
+	b := Timestamp{TS: 19, CID: 2, Dev: 5}
+	if b.LaterEq(a) {
+		t.Errorf("19±5 ⪰ 10±5 must not hold: 19−5 < 10+5")
+	}
+	if !b.PossiblyLater(a) {
+		t.Errorf("19±5 ≿ 10±5 must hold")
+	}
+	c := Timestamp{TS: 20, CID: 2, Dev: 5}
+	if !c.LaterEq(a) {
+		t.Errorf("20±5 ⪰ 10±5 must hold: 20−5 ≥ 10+5")
+	}
+	// Same clock: no deviation applies (Algorithm 5 line 12).
+	d := Timestamp{TS: 11, CID: 1, Dev: 5}
+	if !d.LaterEq(a) {
+		t.Errorf("same-clock 11 ⪰ 10 must hold regardless of deviation")
+	}
+	// Undefined clock ID: deviation always applies, even to itself.
+	u := Timestamp{TS: 10, CID: CIDUndefined, Dev: 5}
+	if u.LaterEq(u) {
+		t.Errorf("10±5@undefined ⪰ itself must NOT hold: origin unknown")
+	}
+}
+
+func TestLaterEqExcludesPossiblyLater(t *testing.T) {
+	// t2 ⪰ t1 ⟹ ¬(t1 ≿ t2) and t2 ≿ t1 ⟹ ¬(t1 ⪰ t2) (§2.1).
+	f := func(t1, t2 Timestamp) bool {
+		if t2.LaterEq(t1) && t1.PossiblyLater(t2) {
+			return false
+		}
+		if t2.PossiblyLater(t1) && t1.LaterEq(t2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaterEqTransitive(t *testing.T) {
+	// ⪰ must be transitive: the STM chains guarantees across versions.
+	f := func(a, b, c Timestamp) bool {
+		if a.LaterEq(b) && b.LaterEq(c) {
+			return a.LaterEq(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// stamped is a timestamp together with the hidden real time at which it was
+// read. The ⪰/Max/Min guarantees of §2.1 are statements about these hidden
+// real times; the operators themselves are sound but deliberately incomplete
+// (they may fail to detect an ordering that same-clock reasoning would give).
+type stamped struct {
+	ts   Timestamp
+	real int64
+}
+
+// genStamped models clocks as monotone functions of real time with a
+// constant per-clock offset bounded by the advertised deviation, then reads
+// one timestamp at a random real time. Exact clocks (CIDExact) have zero
+// offset and deviation.
+func genStamped(r *rand.Rand, offsets map[int32]int64, devs map[int32]int64) stamped {
+	real := r.Int63n(200) + 1
+	if r.Intn(4) == 0 {
+		return stamped{ts: Exact(real), real: real}
+	}
+	cid := int32(1 + r.Intn(3))
+	dev, ok := devs[cid]
+	if !ok {
+		dev = r.Int63n(15) + 1
+		devs[cid] = dev
+		offsets[cid] = r.Int63n(2*dev+1) - dev
+	}
+	return stamped{ts: Timestamp{TS: real + offsets[cid], CID: cid, Dev: dev}, real: real}
+}
+
+func TestLaterEqSoundAgainstHiddenTruth(t *testing.T) {
+	// a ⪰ b must imply real(a) ≥ real(b): the operator may miss orderings,
+	// but must never invent one.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		offsets, devs := map[int32]int64{}, map[int32]int64{}
+		a := genStamped(r, offsets, devs)
+		b := genStamped(r, offsets, devs)
+		if a.ts.LaterEq(b.ts) && a.real < b.real {
+			t.Fatalf("unsound ⪰: %v (real %d) claimed ⪰ %v (real %d)", a.ts, a.real, b.ts, b.real)
+		}
+	}
+}
+
+func TestMaxSemantics(t *testing.T) {
+	// §2.1: if t3 ⪰ max(t1,t2) then t3 is guaranteed later than both t1 and
+	// t2 — a statement about hidden real read times, which is weaker than
+	// operator-level closure (same-clock comparisons carry information the
+	// cross-clock value test cannot reconstruct).
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		offsets, devs := map[int32]int64{}, map[int32]int64{}
+		t1 := genStamped(r, offsets, devs)
+		t2 := genStamped(r, offsets, devs)
+		t3 := genStamped(r, offsets, devs)
+		m := Max(t1.ts, t2.ts)
+		if t3.ts.LaterEq(m) && (t3.real < t1.real || t3.real < t2.real) {
+			t.Fatalf("Max unsound: t3=%v (real %d) ⪰ Max(%v real %d, %v real %d) = %v",
+				t3.ts, t3.real, t1.ts, t1.real, t2.ts, t2.real, m)
+		}
+	}
+}
+
+func TestMinSemantics(t *testing.T) {
+	// §2.1: if min(t1,t2) ⪰ t3 then t3 is guaranteed earlier than both.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		offsets, devs := map[int32]int64{}, map[int32]int64{}
+		t1 := genStamped(r, offsets, devs)
+		t2 := genStamped(r, offsets, devs)
+		t3 := genStamped(r, offsets, devs)
+		m := Min(t1.ts, t2.ts)
+		if m.LaterEq(t3.ts) && (t3.real > t1.real || t3.real > t2.real) {
+			t.Fatalf("Min unsound: Min(%v real %d, %v real %d) = %v ⪰ t3=%v (real %d)",
+				t1.ts, t1.real, t2.ts, t2.real, m, t3.ts, t3.real)
+		}
+	}
+}
+
+func TestMaxMinExactDegenerate(t *testing.T) {
+	// For exact timestamps Max/Min are plain max/min (Algorithm 4).
+	if got := Max(Exact(3), Exact(9)); got != Exact(9) {
+		t.Errorf("Max(3,9) = %v, want 9", got)
+	}
+	if got := Min(Exact(3), Exact(9)); got != Exact(3) {
+		t.Errorf("Min(3,9) = %v, want 3", got)
+	}
+	if got := Max(Exact(4), Inf); got != Inf {
+		t.Errorf("Max(4,∞) = %v, want ∞", got)
+	}
+	if got := Min(Exact(4), Inf); got != Exact(4) {
+		t.Errorf("Min(4,∞) = %v, want 4", got)
+	}
+}
+
+func TestMaxMixedClocksErasesCID(t *testing.T) {
+	a := Timestamp{TS: 10, CID: 1, Dev: 3}
+	b := Timestamp{TS: 11, CID: 2, Dev: 3}
+	m := Max(a, b)
+	if m.CID != CIDUndefined {
+		t.Errorf("Max of overlapping cross-clock timestamps must erase CID, got %v", m)
+	}
+	if m.Upper() != 14 {
+		t.Errorf("Max must keep the larger upper bound 14, got %d", m.Upper())
+	}
+	n := Min(a, b)
+	if n.CID != CIDUndefined {
+		t.Errorf("Min of overlapping cross-clock timestamps must erase CID, got %v", n)
+	}
+	if n.Lower() != 7 {
+		t.Errorf("Min must keep the smaller lower bound 7, got %d", n.Lower())
+	}
+}
+
+func TestPred(t *testing.T) {
+	p := Exact(5).Pred()
+	if p != Exact(4) {
+		t.Errorf("Pred(5) = %v, want 4", p)
+	}
+	it := Timestamp{TS: 9, CID: 2, Dev: 4}
+	if got := it.Pred(); got.TS != 8 || got.CID != 2 || got.Dev != 4 {
+		t.Errorf("Pred must only decrement TS, got %v", got)
+	}
+	for _, bad := range []Timestamp{Inf, Zero} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pred(%v) must panic", bad)
+				}
+			}()
+			bad.Pred()
+		}()
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := map[string]Timestamp{
+		"∞":       Inf,
+		"0":       Zero,
+		"42":      Exact(42),
+		"7±2@c3":  {TS: 7, CID: 3, Dev: 2},
+		"7±2@c-1": {TS: 7, CID: CIDUndefined, Dev: 2},
+	}
+	for want, ts := range cases {
+		if got := ts.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", ts, got, want)
+		}
+	}
+}
+
+func TestZeroIsEarliest(t *testing.T) {
+	f := func(ts Timestamp) bool {
+		// All issued timestamps have TS ≥ 1, so with dev < 1 they are
+		// possibly later than Zero; exact ones are guaranteed later.
+		if ts.CID == CIDExact && ts.Dev == 0 {
+			return ts.LaterEq(Zero)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegInfSentinel(t *testing.T) {
+	if !NegInf.IsNegInf() {
+		t.Fatal("NegInf must report IsNegInf")
+	}
+	for _, ts := range []Timestamp{Exact(1), Zero, Inf, {TS: 3, CID: 2, Dev: 100}} {
+		if !ts.LaterEq(NegInf) {
+			t.Errorf("%v ⪰ -∞ must hold", ts)
+		}
+		if ts != NegInf && NegInf.LaterEq(ts) {
+			t.Errorf("-∞ ⪰ %v must not hold", ts)
+		}
+	}
+	if !NegInf.LaterEq(NegInf) {
+		t.Error("-∞ ⪰ -∞ must hold")
+	}
+	if Inf.String() != "∞" || NegInf.String() != "-∞" {
+		t.Errorf("sentinel strings: %q, %q", Inf.String(), NegInf.String())
+	}
+	if got := Max(NegInf, Exact(5)); got != Exact(5) {
+		t.Errorf("Max(-∞, 5) = %v, want 5", got)
+	}
+	if got := Min(NegInf, Exact(5)); got != NegInf {
+		t.Errorf("Min(-∞, 5) = %v, want -∞", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Pred(-∞) must panic")
+			}
+		}()
+		NegInf.Pred()
+	}()
+}
+
+func TestGenesisReadableUnderLargeDeviation(t *testing.T) {
+	// A freshly created object's genesis version (validFrom = -∞) must be
+	// readable even by a clock whose value is tiny compared to its
+	// deviation — the scenario that motivated the -∞ sentinel.
+	early := Timestamp{TS: 3, CID: 1, Dev: 1000}
+	if !early.LaterEq(NegInf) {
+		t.Error("small-value high-deviation timestamp must be ⪰ -∞")
+	}
+}

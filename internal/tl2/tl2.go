@@ -1,0 +1,208 @@
+// Package tl2 is a compact reimplementation of the Transactional Locking II
+// algorithm (Dice, Shalev, Shavit, DISC 2006), the lean single-version
+// time-based STM the paper discusses in §1.2. It serves as a baseline
+// against LSA-RT:
+//
+//   - one version per object — readers that arrive "too late" abort instead
+//     of falling back to an older version;
+//   - no validity-range extensions — an object may only be read if its last
+//     update precedes the transaction's start time, except for the implicit
+//     revalidation during commit;
+//   - commit locks the write set, increments the global version clock, and
+//     validates the read set against the start time.
+//
+// The global version clock is the same shared-counter time base whose
+// scalability the paper questions; the optional commit-timestamp sharing
+// optimization lives in the counter itself (timebase.TL2Counter) and is
+// benchmarked separately.
+package tl2
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrAborted signals that the transaction attempt failed and was retried.
+var ErrAborted = errors.New("tl2: transaction aborted")
+
+// ErrReadOnly is returned by Write inside a read-only transaction.
+var ErrReadOnly = errors.New("tl2: write inside read-only transaction")
+
+// STM is a TL2 universe: a global version clock shared by all objects
+// created against it.
+type STM struct {
+	_     [64]byte
+	clock atomic.Int64
+	_     [64]byte
+}
+
+// New creates a TL2 universe with the clock at zero.
+func New() *STM { return &STM{} }
+
+// Clock exposes the current global version, for tests.
+func (s *STM) Clock() int64 { return s.clock.Load() }
+
+// Object is a single-version transactional cell: a versioned lock word and
+// the current value. The lock word holds version<<1|locked.
+type Object struct {
+	meta atomic.Int64
+	val  atomic.Pointer[any]
+}
+
+// NewObject creates an object at version 0 holding initial.
+func NewObject(initial any) *Object {
+	o := &Object{}
+	v := initial
+	o.val.Store(&v)
+	return o
+}
+
+func locked(meta int64) bool   { return meta&1 == 1 }
+func version(meta int64) int64 { return meta >> 1 }
+
+// Tx is one TL2 transaction attempt.
+type Tx struct {
+	stm      *STM
+	rv       int64 // read version: global clock at start
+	readOnly bool
+	reads    []readEntry
+	writes   []writeEntry
+	windex   map[*Object]int
+}
+
+type readEntry struct {
+	obj *Object
+}
+
+type writeEntry struct {
+	obj *Object
+	val any
+}
+
+// Read returns the object's value if its version precedes the
+// transaction's start time; otherwise the attempt aborts (TL2 has no
+// extensions and no old versions).
+func (tx *Tx) Read(o *Object) (any, error) {
+	if idx, ok := tx.windex[o]; ok {
+		return tx.writes[idx].val, nil
+	}
+	m1 := o.meta.Load()
+	if locked(m1) {
+		return nil, ErrAborted
+	}
+	vp := o.val.Load()
+	m2 := o.meta.Load()
+	if m1 != m2 || version(m2) > tx.rv {
+		return nil, ErrAborted
+	}
+	if !tx.readOnly {
+		tx.reads = append(tx.reads, readEntry{obj: o})
+	}
+	return *vp, nil
+}
+
+// Write buffers the new value; it becomes visible at commit.
+func (tx *Tx) Write(o *Object, val any) error {
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if idx, ok := tx.windex[o]; ok {
+		tx.writes[idx].val = val
+		return nil
+	}
+	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+	if tx.windex == nil {
+		tx.windex = make(map[*Object]int, 8)
+	}
+	tx.windex[o] = len(tx.writes) - 1
+	return nil
+}
+
+// commit runs the TL2 commit protocol.
+func (tx *Tx) commit() error {
+	if len(tx.writes) == 0 {
+		// Reads were individually validated against rv; nothing to do.
+		return nil
+	}
+	// Phase 1: lock the write set (try-lock; abort on any conflict).
+	lockedUpTo := -1
+	for i := range tx.writes {
+		o := tx.writes[i].obj
+		m := o.meta.Load()
+		if locked(m) || version(m) > tx.rv {
+			tx.unlock(lockedUpTo)
+			return ErrAborted
+		}
+		if !o.meta.CompareAndSwap(m, m|1) {
+			tx.unlock(lockedUpTo)
+			return ErrAborted
+		}
+		lockedUpTo = i
+	}
+	// Phase 2: increment the global version clock.
+	wv := tx.stm.clock.Add(1)
+	// Phase 3: validate the read set — unless rv+1 == wv, in which case no
+	// transaction can have committed in between (the TL2 short cut).
+	if wv != tx.rv+1 {
+		for _, r := range tx.reads {
+			m := r.obj.meta.Load()
+			if _, own := tx.windex[r.obj]; own {
+				continue
+			}
+			if locked(m) || version(m) > tx.rv {
+				tx.unlock(lockedUpTo)
+				return ErrAborted
+			}
+		}
+	}
+	// Phase 4: install values and release locks with the new version.
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		v := w.val
+		w.obj.val.Store(&v)
+		w.obj.meta.Store(wv << 1)
+	}
+	return nil
+}
+
+// unlock releases write locks [0..upTo] after a failed commit, restoring
+// the pre-lock version.
+func (tx *Tx) unlock(upTo int) {
+	for i := 0; i <= upTo; i++ {
+		o := tx.writes[i].obj
+		o.meta.Store(o.meta.Load() &^ 1)
+	}
+}
+
+// Thread is a worker context (API-compatible shape with the core engine's
+// Thread so workloads translate directly).
+type Thread struct {
+	stm *STM
+}
+
+// Thread creates a worker context.
+func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
+
+// Run executes fn transactionally, retrying on aborts.
+func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
+
+// RunReadOnly executes fn as a read-only transaction. TL2 read-only
+// transactions keep no read set at all: each read is validated against the
+// start time, and commit is empty.
+func (t *Thread) RunReadOnly(fn func(*Tx) error) error { return t.run(true, fn) }
+
+func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
+	for {
+		tx := &Tx{stm: t.stm, rv: t.stm.clock.Load(), readOnly: readOnly}
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit()
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package wordstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/hwclock"
+	"repro/internal/timebase"
+)
+
+func newSTM(t *testing.T, words int) *STM {
+	t.Helper()
+	s, err := New(timebase.NewSharedCounter(), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newClockSTM(t *testing.T, words int) *STM {
+	t.Helper()
+	s, err := New(timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(8))), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(timebase.NewSharedCounter(), 0); err == nil {
+		t.Error("zero words must be rejected")
+	}
+	// Imprecise time bases are rejected: lock words cannot carry deviations.
+	dev := hwclock.New(hwclock.Config{TickHz: 1_000_000_000, Nodes: 2, MaxOffsetTicks: 10, Seed: 1})
+	ec, err := timebase.NewExtSyncClock(dev, dev.Config().MaxErrorTicks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ec, 64); err == nil {
+		t.Error("externally synchronized base must be rejected by the word STM")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *STM{newSTM, newClockSTM} {
+		s := mk(t, 16)
+		th := s.Thread(0)
+		if err := th.Run(func(tx *Tx) error {
+			if err := tx.Store(3, 42); err != nil {
+				return err
+			}
+			v, err := tx.Load(3)
+			if err != nil {
+				return err
+			}
+			if v != 42 {
+				t.Errorf("read-own-write = %d, want 42", v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		if err := th.RunReadOnly(func(tx *Tx) error {
+			v, err := tx.Load(3)
+			got = v
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != 42 {
+			t.Errorf("committed value = %d, want 42", got)
+		}
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := newSTM(t, 4)
+	th := s.Thread(0)
+	err := th.Run(func(tx *Tx) error {
+		_, err := tx.Load(100)
+		return err
+	})
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Load(100) = %v, want ErrOutOfRange", err)
+	}
+	err = th.Run(func(tx *Tx) error { return tx.Store(100, 1) })
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Store(100) = %v, want ErrOutOfRange", err)
+	}
+	if err := s.SetInitial(100, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("SetInitial(100) = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestReadOnlyRejectsStore(t *testing.T) {
+	s := newSTM(t, 4)
+	err := s.Thread(0).RunReadOnly(func(tx *Tx) error { return tx.Store(0, 1) })
+	if !errors.Is(err, ErrReadOnly) {
+		t.Errorf("got %v, want ErrReadOnly", err)
+	}
+}
+
+func TestUserErrorReleasesLocks(t *testing.T) {
+	s := newSTM(t, 8)
+	th := s.Thread(0)
+	boom := errors.New("boom")
+	if err := th.Run(func(tx *Tx) error {
+		if err := tx.Store(1, 5); err != nil {
+			return err
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	// The stripe must be unlocked and the value unchanged.
+	if err := th.Run(func(tx *Tx) error {
+		v, err := tx.Load(1)
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			t.Errorf("value = %d, want rollback to 0", v)
+		}
+		return tx.Store(1, 7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetInitial(t *testing.T) {
+	s := newSTM(t, 8)
+	if err := s.SetInitial(2, 77); err != nil {
+		t.Fatal(err)
+	}
+	th := s.Thread(0)
+	var got int64
+	if err := th.RunReadOnly(func(tx *Tx) error {
+		v, err := tx.Load(2)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Errorf("value = %d, want 77", got)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *STM{newSTM, newClockSTM} {
+		s := mk(t, 4)
+		const workers, per = 8, 200
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th := s.Thread(id)
+				for i := 0; i < per; i++ {
+					if err := th.Run(func(tx *Tx) error {
+						v, err := tx.Load(0)
+						if err != nil {
+							return err
+						}
+						return tx.Store(0, v+1)
+					}); err != nil {
+						t.Errorf("worker %d: %v", id, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var got int64
+		if err := s.Thread(99).RunReadOnly(func(tx *Tx) error {
+			v, err := tx.Load(0)
+			got = v
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != workers*per {
+			t.Errorf("counter = %d, want %d (lost updates)", got, workers*per)
+		}
+	}
+}
+
+func TestTornPairNeverObserved(t *testing.T) {
+	s := newSTM(t, 64) // distinct stripes likely for 2 addresses
+	const a, b = Addr(0), Addr(33)
+	stop := make(chan struct{})
+	var writer, readers sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		th := s.Thread(0)
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := th.Run(func(tx *Tx) error {
+				if err := tx.Store(a, i); err != nil {
+					return err
+				}
+				return tx.Store(b, -i)
+			}); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 1; r <= 3; r++ {
+		readers.Add(1)
+		go func(id int) {
+			defer readers.Done()
+			th := s.Thread(id)
+			for i := 0; i < 300; i++ {
+				if err := th.RunReadOnly(func(tx *Tx) error {
+					av, err := tx.Load(a)
+					if err != nil {
+						return err
+					}
+					bv, err := tx.Load(b)
+					if err != nil {
+						return err
+					}
+					if av+bv != 0 {
+						t.Errorf("torn pair: %d/%d", av, bv)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+func TestBankConservation(t *testing.T) {
+	s := newSTM(t, 16)
+	const accounts, initial = 16, 1000
+	for i := 0; i < accounts; i++ {
+		if err := s.SetInitial(Addr(i), initial); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers, per = 4, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.Thread(id)
+			for i := 0; i < per; i++ {
+				from := Addr((id + i) % accounts)
+				to := Addr((id*3 + i*7 + 1) % accounts)
+				if from == to {
+					to = Addr((int(to) + 1) % accounts)
+				}
+				if err := th.Run(func(tx *Tx) error {
+					fv, err := tx.Load(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Load(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Store(from, fv-1); err != nil {
+						return err
+					}
+					return tx.Store(to, tv+1)
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	if err := s.Thread(99).RunReadOnly(func(tx *Tx) error {
+		sum = 0
+		for i := 0; i < accounts; i++ {
+			v, err := tx.Load(Addr(i))
+			if err != nil {
+				return err
+			}
+			sum += v
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != accounts*initial {
+		t.Errorf("total = %d, want %d", sum, accounts*initial)
+	}
+}
+
+func TestSameStripeWrites(t *testing.T) {
+	// Force two addresses into one stripe table entry by using a tiny
+	// memory: writes to both must coexist in one transaction.
+	s := newSTM(t, 2)
+	th := s.Thread(0)
+	if err := th.Run(func(tx *Tx) error {
+		if err := tx.Store(0, 10); err != nil {
+			return err
+		}
+		if err := tx.Store(1, 20); err != nil {
+			return err
+		}
+		v0, err := tx.Load(0)
+		if err != nil {
+			return err
+		}
+		v1, err := tx.Load(1)
+		if err != nil {
+			return err
+		}
+		if v0 != 10 || v1 != 20 {
+			t.Errorf("same-stripe rw = %d/%d, want 10/20", v0, v1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtensionAllowsLateRead(t *testing.T) {
+	// A transaction that started before a concurrent commit must still be
+	// able to read the updated word by extending its snapshot (no
+	// intervening conflicting reads).
+	s := newSTM(t, 8)
+	th1 := s.Thread(0)
+	th2 := s.Thread(1)
+	attempts := 0
+	if err := th1.Run(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			if err := th2.Run(func(tx2 *Tx) error { return tx2.Store(5, 123) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := tx.Load(5)
+		if err != nil {
+			return err
+		}
+		if v != 123 {
+			t.Errorf("read %d, want 123 via extension", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("extension should have saved the first attempt, took %d", attempts)
+	}
+}
+
+func TestWordsAndTimeBaseAccessors(t *testing.T) {
+	s := newSTM(t, 32)
+	if s.Words() != 32 {
+		t.Errorf("Words = %d", s.Words())
+	}
+	if s.TimeBase().Name() != "SharedCounter" {
+		t.Errorf("TimeBase = %s", s.TimeBase().Name())
+	}
+}

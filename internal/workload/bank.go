@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Bank is the classic STM bank: transfer transactions move money between
+// two random accounts; audit transactions read every account and check the
+// conserved total. Audits run read-only, exercising the multi-version
+// snapshot path.
+type Bank struct {
+	// Accounts is the number of accounts (default 64).
+	Accounts int
+	// Initial is each account's starting balance (default 1000).
+	Initial int
+	// AuditRatio is the fraction of transactions that are read-only audits
+	// (default 0.1).
+	AuditRatio float64
+	// Seed seeds the per-worker RNGs.
+	Seed int64
+
+	objs []*core.Object
+}
+
+// Name implements harness.Workload.
+func (b *Bank) Name() string { return fmt.Sprintf("bank/%d", b.accounts()) }
+
+func (b *Bank) accounts() int {
+	if b.Accounts == 0 {
+		return 64
+	}
+	return b.Accounts
+}
+
+func (b *Bank) initial() int {
+	if b.Initial == 0 {
+		return 1000
+	}
+	return b.Initial
+}
+
+func (b *Bank) auditRatio() float64 {
+	if b.AuditRatio == 0 {
+		return 0.1
+	}
+	return b.AuditRatio
+}
+
+// Init implements harness.Workload.
+func (b *Bank) Init(rt *core.Runtime, workers int) error {
+	if b.accounts() < 2 {
+		return fmt.Errorf("workload: Bank needs ≥ 2 accounts, got %d", b.accounts())
+	}
+	b.objs = make([]*core.Object, b.accounts())
+	for i := range b.objs {
+		b.objs[i] = core.NewObject(b.initial())
+	}
+	return nil
+}
+
+// Step implements harness.Workload.
+func (b *Bank) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+	rng := rand.New(rand.NewSource(b.Seed + int64(id)*7919 + 1))
+	expect := b.accounts() * b.initial()
+	return func() error {
+		if rng.Float64() < b.auditRatio() {
+			return th.RunReadOnly(func(tx *core.Tx) error {
+				sum := 0
+				for _, o := range b.objs {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					sum += v.(int)
+				}
+				if sum != expect {
+					return fmt.Errorf("bank: audit saw %d, want %d", sum, expect)
+				}
+				return nil
+			})
+		}
+		from := rng.Intn(len(b.objs))
+		to := rng.Intn(len(b.objs) - 1)
+		if to >= from {
+			to++
+		}
+		amount := 1 + rng.Intn(10)
+		return th.Run(func(tx *core.Tx) error {
+			fv, err := tx.Read(b.objs[from])
+			if err != nil {
+				return err
+			}
+			tv, err := tx.Read(b.objs[to])
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(b.objs[from], fv.(int)-amount); err != nil {
+				return err
+			}
+			return tx.Write(b.objs[to], tv.(int)+amount)
+		})
+	}
+}
+
+// Total sums all balances in a read-only transaction.
+func (b *Bank) Total(rt *core.Runtime) (int, error) {
+	th := rt.Thread(1 << 20)
+	total := 0
+	err := th.RunReadOnly(func(tx *core.Tx) error {
+		total = 0
+		for _, o := range b.objs {
+			v, err := tx.Read(o)
+			if err != nil {
+				return err
+			}
+			total += v.(int)
+		}
+		return nil
+	})
+	return total, err
+}

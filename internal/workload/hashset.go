@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// HashSet is a fixed-bucket chained hash set over transactional objects:
+// each bucket holds an immutable sorted slice of keys, replaced wholesale
+// on update. Transactions are short (one bucket for point operations),
+// giving a low-conflict, high-commit-rate workload between the disjoint
+// array (zero conflict) and the linked list (long transactions); the Size
+// operation reads every bucket and exercises large read-only snapshots.
+type HashSet struct {
+	// Buckets is the bucket count (default 64).
+	Buckets int
+	// KeyRange is the key universe (default 1024).
+	KeyRange int
+	// UpdateRatio is the fraction of add/remove operations (default 0.2).
+	UpdateRatio float64
+	// SizeRatio is the fraction of whole-set size scans (default 0.02).
+	SizeRatio float64
+	// Seed seeds the per-worker RNGs.
+	Seed int64
+
+	buckets []*core.Object
+}
+
+// Name implements harness.Workload.
+func (h *HashSet) Name() string { return fmt.Sprintf("hashset/%d", h.bucketCount()) }
+
+func (h *HashSet) bucketCount() int {
+	if h.Buckets == 0 {
+		return 64
+	}
+	return h.Buckets
+}
+
+func (h *HashSet) keyRange() int {
+	if h.KeyRange == 0 {
+		return 1024
+	}
+	return h.KeyRange
+}
+
+func (h *HashSet) updateRatio() float64 {
+	if h.UpdateRatio == 0 {
+		return 0.2
+	}
+	return h.UpdateRatio
+}
+
+func (h *HashSet) sizeRatio() float64 {
+	if h.SizeRatio == 0 {
+		return 0.02
+	}
+	return h.SizeRatio
+}
+
+// Init implements harness.Workload.
+func (h *HashSet) Init(rt *core.Runtime, workers int) error {
+	if h.bucketCount() < 1 {
+		return fmt.Errorf("workload: HashSet.Buckets must be ≥ 1, got %d", h.Buckets)
+	}
+	h.buckets = make([]*core.Object, h.bucketCount())
+	for i := range h.buckets {
+		h.buckets[i] = core.NewObject([]int(nil))
+	}
+	return nil
+}
+
+func (h *HashSet) bucketFor(key int) *core.Object {
+	return h.buckets[uint(key*2654435761)%uint(len(h.buckets))]
+}
+
+// Contains reports membership via a read-only transaction.
+func (h *HashSet) Contains(th *core.Thread, key int) (bool, error) {
+	var found bool
+	err := th.RunReadOnly(func(tx *core.Tx) error {
+		v, err := tx.Read(h.bucketFor(key))
+		if err != nil {
+			return err
+		}
+		found = containsKey(v.([]int), key)
+		return nil
+	})
+	return found, err
+}
+
+// Add inserts key, reporting whether the set changed.
+func (h *HashSet) Add(th *core.Thread, key int) (bool, error) {
+	var added bool
+	err := th.Run(func(tx *core.Tx) error {
+		b := h.bucketFor(key)
+		v, err := tx.Read(b)
+		if err != nil {
+			return err
+		}
+		keys := v.([]int)
+		if containsKey(keys, key) {
+			added = false
+			return nil
+		}
+		// Insert keeping the bucket sorted; the slice is immutable once
+		// stored, so build a fresh one.
+		out := make([]int, 0, len(keys)+1)
+		i := 0
+		for ; i < len(keys) && keys[i] < key; i++ {
+			out = append(out, keys[i])
+		}
+		out = append(out, key)
+		out = append(out, keys[i:]...)
+		added = true
+		return tx.Write(b, out)
+	})
+	return added, err
+}
+
+// Remove deletes key, reporting whether the set changed.
+func (h *HashSet) Remove(th *core.Thread, key int) (bool, error) {
+	var removed bool
+	err := th.Run(func(tx *core.Tx) error {
+		b := h.bucketFor(key)
+		v, err := tx.Read(b)
+		if err != nil {
+			return err
+		}
+		keys := v.([]int)
+		if !containsKey(keys, key) {
+			removed = false
+			return nil
+		}
+		out := make([]int, 0, len(keys)-1)
+		for _, k := range keys {
+			if k != key {
+				out = append(out, k)
+			}
+		}
+		removed = true
+		return tx.Write(b, out)
+	})
+	return removed, err
+}
+
+// Size counts all elements in one consistent read-only snapshot.
+func (h *HashSet) Size(th *core.Thread) (int, error) {
+	var n int
+	err := th.RunReadOnly(func(tx *core.Tx) error {
+		n = 0
+		for _, b := range h.buckets {
+			v, err := tx.Read(b)
+			if err != nil {
+				return err
+			}
+			n += len(v.([]int))
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Step implements harness.Workload.
+func (h *HashSet) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+	rng := rand.New(rand.NewSource(h.Seed + int64(id)*31337 + 5))
+	return func() error {
+		p := rng.Float64()
+		key := rng.Intn(h.keyRange())
+		switch {
+		case p < h.sizeRatio():
+			_, err := h.Size(th)
+			return err
+		case p < h.sizeRatio()+h.updateRatio()/2:
+			_, err := h.Add(th, key)
+			return err
+		case p < h.sizeRatio()+h.updateRatio():
+			_, err := h.Remove(th, key)
+			return err
+		default:
+			_, err := h.Contains(th, key)
+			return err
+		}
+	}
+}
+
+func containsKey(keys []int, key int) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+		if k > key {
+			return false
+		}
+	}
+	return false
+}

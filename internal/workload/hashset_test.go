@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHashSetSequentialSemantics(t *testing.T) {
+	rt := newRT(t)
+	h := &HashSet{Buckets: 8, KeyRange: 100, Seed: 3}
+	if err := h.Init(rt, 1); err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	model := map[int]bool{}
+	ops := []struct {
+		op  string
+		key int
+	}{
+		{"add", 5}, {"add", 13}, {"add", 5}, {"add", 21}, // 13 and 21 may share a bucket
+		{"rm", 13}, {"rm", 13}, {"add", 99}, {"add", 0}, {"rm", 5},
+	}
+	for i, op := range ops {
+		switch op.op {
+		case "add":
+			got, err := h.Add(th, op.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := !model[op.key]; got != want {
+				t.Errorf("op %d: add(%d) = %v, want %v", i, op.key, got, want)
+			}
+			model[op.key] = true
+		case "rm":
+			got, err := h.Remove(th, op.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := model[op.key]; got != want {
+				t.Errorf("op %d: remove(%d) = %v, want %v", i, op.key, got, want)
+			}
+			delete(model, op.key)
+		}
+		size, err := h.Size(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != len(model) {
+			t.Errorf("op %d: size = %d, want %d", i, size, len(model))
+		}
+		for k := range model {
+			ok, err := h.Contains(th, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("op %d: contains(%d) = false, want true", i, k)
+			}
+		}
+	}
+}
+
+func TestHashSetConcurrentSizeConsistent(t *testing.T) {
+	// Paired add/remove keep the size parity meaningful: every worker adds
+	// a key then removes it, so a consistent Size snapshot varies but the
+	// final size is exactly the set of keys never removed.
+	rt := newClockRT(t)
+	h := &HashSet{Buckets: 16, KeyRange: 512, Seed: 7}
+	const workers, per = 4, 150
+	if err := h.Init(rt, workers); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.Thread(id)
+			for i := 0; i < per; i++ {
+				key := id*1000 + i // disjoint key spaces
+				if _, err := h.Add(th, key); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					if _, err := h.Remove(th, key); err != nil {
+						t.Errorf("remove: %v", err)
+						return
+					}
+				}
+				if i%25 == 0 {
+					if _, err := h.Size(th); err != nil {
+						t.Errorf("size: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	size, err := h.Size(rt.Thread(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each worker leaves the odd-i keys in: per/2 keys each.
+	if want := workers * per / 2; size != want {
+		t.Errorf("final size = %d, want %d", size, want)
+	}
+}
+
+func TestHashSetAsHarnessWorkload(t *testing.T) {
+	rt := newRT(t)
+	h := &HashSet{Buckets: 8, KeyRange: 64, UpdateRatio: 0.5, SizeRatio: 0.1, Seed: 9}
+	if err := h.Init(rt, 2); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.Thread(id)
+			step := h.Step(rt, th, id)
+			for i := 0; i < 300; i++ {
+				if err := step(); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// listNode is one element of the transactional sorted linked list. The node
+// value stored in an object is immutable; updates replace the node.
+type listNode struct {
+	key  int
+	next *core.Object // nil at the tail sentinel
+}
+
+// IntSet is a sorted-linked-list integer set — the standard STM
+// data-structure benchmark. Membership tests traverse the list reading many
+// objects; inserts and removes splice nodes by rewriting one predecessor.
+// Long traversals under concurrent splices are exactly the access pattern
+// that rewards cheap per-access consistency.
+type IntSet struct {
+	// KeyRange is the key universe [0, KeyRange) (default 256).
+	KeyRange int
+	// UpdateRatio is the fraction of add/remove operations, split evenly
+	// (default 0.2; the rest are contains).
+	UpdateRatio float64
+	// InitialFill is the fraction of the key range pre-inserted (default
+	// 0.5).
+	InitialFill float64
+	// Seed seeds the per-worker RNGs.
+	Seed int64
+
+	head *core.Object
+}
+
+// Name implements harness.Workload.
+func (s *IntSet) Name() string { return fmt.Sprintf("intset/%d", s.keyRange()) }
+
+func (s *IntSet) keyRange() int {
+	if s.KeyRange == 0 {
+		return 256
+	}
+	return s.KeyRange
+}
+
+func (s *IntSet) updateRatio() float64 {
+	if s.UpdateRatio == 0 {
+		return 0.2
+	}
+	return s.UpdateRatio
+}
+
+func (s *IntSet) initialFill() float64 {
+	if s.InitialFill == 0 {
+		return 0.5
+	}
+	return s.InitialFill
+}
+
+// Init implements harness.Workload: build head/tail sentinels and pre-fill.
+func (s *IntSet) Init(rt *core.Runtime, workers int) error {
+	if s.keyRange() < 1 {
+		return fmt.Errorf("workload: IntSet.KeyRange must be ≥ 1, got %d", s.KeyRange)
+	}
+	tail := core.NewObject(listNode{key: math.MaxInt})
+	s.head = core.NewObject(listNode{key: math.MinInt, next: tail})
+	th := rt.Thread(1 << 19)
+	rng := rand.New(rand.NewSource(s.Seed + 99))
+	for k := 0; k < s.keyRange(); k++ {
+		if rng.Float64() >= s.initialFill() {
+			continue
+		}
+		if _, err := s.Add(th, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step implements harness.Workload.
+func (s *IntSet) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+	rng := rand.New(rand.NewSource(s.Seed + int64(id)*104729 + 3))
+	return func() error {
+		key := rng.Intn(s.keyRange())
+		p := rng.Float64()
+		switch {
+		case p < s.updateRatio()/2:
+			_, err := s.Add(th, key)
+			return err
+		case p < s.updateRatio():
+			_, err := s.Remove(th, key)
+			return err
+		default:
+			_, err := s.Contains(th, key)
+			return err
+		}
+	}
+}
+
+// find walks the list inside tx and returns the predecessor object, its
+// node, and the node at or after key.
+func (s *IntSet) find(tx *core.Tx, key int) (predObj *core.Object, pred listNode, cur listNode, err error) {
+	predObj = s.head
+	v, err := tx.Read(predObj)
+	if err != nil {
+		return nil, listNode{}, listNode{}, err
+	}
+	pred = v.(listNode)
+	for {
+		curObj := pred.next
+		v, err = tx.Read(curObj)
+		if err != nil {
+			return nil, listNode{}, listNode{}, err
+		}
+		cur = v.(listNode)
+		if cur.key >= key {
+			return predObj, pred, cur, nil
+		}
+		predObj, pred = curObj, cur
+	}
+}
+
+// Contains reports whether key is in the set (read-only transaction).
+func (s *IntSet) Contains(th *core.Thread, key int) (bool, error) {
+	var found bool
+	err := th.RunReadOnly(func(tx *core.Tx) error {
+		_, _, cur, err := s.find(tx, key)
+		if err != nil {
+			return err
+		}
+		found = cur.key == key
+		return nil
+	})
+	return found, err
+}
+
+// Add inserts key; it reports whether the set changed.
+func (s *IntSet) Add(th *core.Thread, key int) (bool, error) {
+	var added bool
+	err := th.Run(func(tx *core.Tx) error {
+		predObj, pred, cur, err := s.find(tx, key)
+		if err != nil {
+			return err
+		}
+		if cur.key == key {
+			added = false
+			return nil
+		}
+		node := core.NewObject(listNode{key: key, next: pred.next})
+		if err := tx.Write(predObj, listNode{key: pred.key, next: node}); err != nil {
+			return err
+		}
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Remove deletes key; it reports whether the set changed.
+func (s *IntSet) Remove(th *core.Thread, key int) (bool, error) {
+	var removed bool
+	err := th.Run(func(tx *core.Tx) error {
+		predObj, pred, cur, err := s.find(tx, key)
+		if err != nil {
+			return err
+		}
+		if cur.key != key {
+			removed = false
+			return nil
+		}
+		// Read the victim to get its successor, then splice it out.
+		v, err := tx.Read(pred.next)
+		if err != nil {
+			return err
+		}
+		victim := v.(listNode)
+		if err := tx.Write(predObj, listNode{key: pred.key, next: victim.next}); err != nil {
+			return err
+		}
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// Snapshot returns the keys currently in the set, in order, via a read-only
+// transaction.
+func (s *IntSet) Snapshot(th *core.Thread) ([]int, error) {
+	var keys []int
+	err := th.RunReadOnly(func(tx *core.Tx) error {
+		keys = keys[:0]
+		v, err := tx.Read(s.head)
+		if err != nil {
+			return err
+		}
+		node := v.(listNode)
+		for node.next != nil {
+			v, err = tx.Read(node.next)
+			if err != nil {
+				return err
+			}
+			node = v.(listNode)
+			if node.next != nil { // skip the tail sentinel
+				keys = append(keys, node.key)
+			}
+		}
+		return nil
+	})
+	return keys, err
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Queue is a transactional bounded FIFO ring buffer: producers and
+// consumers contend on the head/tail cursors while the slots themselves are
+// mostly disjoint — a classic mixed-contention STM workload (two hot
+// objects, many cold ones).
+type Queue struct {
+	// Capacity is the ring size (default 64).
+	Capacity int
+	// Seed seeds the per-worker RNGs.
+	Seed int64
+
+	head  *core.Object // index of the next element to pop
+	tail  *core.Object // index of the next free slot
+	slots []*core.Object
+}
+
+// Name implements harness.Workload.
+func (q *Queue) Name() string { return fmt.Sprintf("queue/%d", q.capacity()) }
+
+func (q *Queue) capacity() int {
+	if q.Capacity == 0 {
+		return 64
+	}
+	return q.Capacity
+}
+
+// Init implements harness.Workload.
+func (q *Queue) Init(rt *core.Runtime, workers int) error {
+	if q.capacity() < 1 {
+		return fmt.Errorf("workload: Queue.Capacity must be ≥ 1, got %d", q.Capacity)
+	}
+	q.head = core.NewObject(0)
+	q.tail = core.NewObject(0)
+	q.slots = make([]*core.Object, q.capacity())
+	for i := range q.slots {
+		q.slots[i] = core.NewObject(0)
+	}
+	return nil
+}
+
+// Push appends v; it reports false if the queue was full.
+func (q *Queue) Push(th *core.Thread, v int) (bool, error) {
+	var ok bool
+	err := th.Run(func(tx *core.Tx) error {
+		hv, err := tx.Read(q.head)
+		if err != nil {
+			return err
+		}
+		tv, err := tx.Read(q.tail)
+		if err != nil {
+			return err
+		}
+		if tv.(int)-hv.(int) >= q.capacity() {
+			ok = false
+			return nil
+		}
+		if err := tx.Write(q.slots[tv.(int)%q.capacity()], v); err != nil {
+			return err
+		}
+		if err := tx.Write(q.tail, tv.(int)+1); err != nil {
+			return err
+		}
+		ok = true
+		return nil
+	})
+	return ok, err
+}
+
+// Pop removes the oldest element; it reports false if the queue was empty.
+func (q *Queue) Pop(th *core.Thread) (int, bool, error) {
+	var out int
+	var ok bool
+	err := th.Run(func(tx *core.Tx) error {
+		hv, err := tx.Read(q.head)
+		if err != nil {
+			return err
+		}
+		tv, err := tx.Read(q.tail)
+		if err != nil {
+			return err
+		}
+		if hv.(int) == tv.(int) {
+			ok = false
+			return nil
+		}
+		sv, err := tx.Read(q.slots[hv.(int)%q.capacity()])
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(q.head, hv.(int)+1); err != nil {
+			return err
+		}
+		out, ok = sv.(int), true
+		return nil
+	})
+	return out, ok, err
+}
+
+// Len returns the current number of queued elements.
+func (q *Queue) Len(th *core.Thread) (int, error) {
+	var n int
+	err := th.RunReadOnly(func(tx *core.Tx) error {
+		hv, err := tx.Read(q.head)
+		if err != nil {
+			return err
+		}
+		tv, err := tx.Read(q.tail)
+		if err != nil {
+			return err
+		}
+		n = tv.(int) - hv.(int)
+		return nil
+	})
+	return n, err
+}
+
+// Step implements harness.Workload: even workers produce, odd workers
+// consume.
+func (q *Queue) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+	rng := rand.New(rand.NewSource(q.Seed + int64(id)*131 + 7))
+	return func() error {
+		if id%2 == 0 {
+			_, err := q.Push(th, rng.Int())
+			return err
+		}
+		_, _, err := q.Pop(th)
+		return err
+	}
+}
+
+// ReadMostly is an array of objects scanned by everyone and occasionally
+// updated: the workload where invisible reads and cheap per-access
+// consistency pay off most.
+type ReadMostly struct {
+	// Objects is the table size (default 128).
+	Objects int
+	// WriteRatio is the fraction of update transactions (default 0.05).
+	WriteRatio float64
+	// ScanLen is how many objects a reader scans (default 32).
+	ScanLen int
+	// Seed seeds the per-worker RNGs.
+	Seed int64
+
+	objs []*core.Object
+}
+
+// Name implements harness.Workload.
+func (r *ReadMostly) Name() string { return fmt.Sprintf("readmostly/%d", r.objects()) }
+
+func (r *ReadMostly) objects() int {
+	if r.Objects == 0 {
+		return 128
+	}
+	return r.Objects
+}
+
+func (r *ReadMostly) writeRatio() float64 {
+	if r.WriteRatio == 0 {
+		return 0.05
+	}
+	return r.WriteRatio
+}
+
+func (r *ReadMostly) scanLen() int {
+	if r.ScanLen == 0 {
+		return 32
+	}
+	return r.ScanLen
+}
+
+// Init implements harness.Workload.
+func (r *ReadMostly) Init(rt *core.Runtime, workers int) error {
+	if r.scanLen() > r.objects() {
+		return fmt.Errorf("workload: scan %d exceeds table %d", r.scanLen(), r.objects())
+	}
+	r.objs = make([]*core.Object, r.objects())
+	for i := range r.objs {
+		r.objs[i] = core.NewObject(0)
+	}
+	return nil
+}
+
+// Step implements harness.Workload.
+func (r *ReadMostly) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+	rng := rand.New(rand.NewSource(r.Seed + int64(id)*977 + 13))
+	return func() error {
+		if rng.Float64() < r.writeRatio() {
+			o := r.objs[rng.Intn(len(r.objs))]
+			return th.Run(func(tx *core.Tx) error {
+				v, err := tx.Read(o)
+				if err != nil {
+					return err
+				}
+				return tx.Write(o, v.(int)+1)
+			})
+		}
+		start := rng.Intn(len(r.objs))
+		return th.RunReadOnly(func(tx *core.Tx) error {
+			for i := 0; i < r.scanLen(); i++ {
+				if _, err := tx.Read(r.objs[(start+i)%len(r.objs)]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hwclock"
+	"repro/internal/timebase"
+)
+
+func newRT(t *testing.T) *core.Runtime {
+	t.Helper()
+	return core.MustRuntime(core.Config{TimeBase: timebase.NewSharedCounter()})
+}
+
+func newClockRT(t *testing.T) *core.Runtime {
+	t.Helper()
+	return core.MustRuntime(core.Config{
+		TimeBase: timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(8))),
+	})
+}
+
+func TestDisjointValidation(t *testing.T) {
+	d := &Disjoint{Accesses: 0}
+	if err := d.Init(newRT(t), 1); err == nil {
+		t.Error("zero accesses must be rejected")
+	}
+	d = &Disjoint{Accesses: 10, ObjectsPerWorker: 5}
+	if err := d.Init(newRT(t), 1); err == nil {
+		t.Error("partition smaller than accesses must be rejected")
+	}
+}
+
+func TestDisjointCountsUpdates(t *testing.T) {
+	for _, mk := range []func(*testing.T) *core.Runtime{newRT, newClockRT} {
+		rt := mk(t)
+		d := &Disjoint{Accesses: 10}
+		const workers, steps = 4, 25
+		if err := d.Init(rt, workers); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th := rt.Thread(id)
+				step := d.Step(rt, th, id)
+				for i := 0; i < steps; i++ {
+					if err := step(); err != nil {
+						t.Errorf("worker %d: %v", id, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total, err := d.Total(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := workers * steps * 10; total != want {
+			t.Errorf("total increments = %d, want %d", total, want)
+		}
+		if s := rt.Stats(); s.AbortConflict != 0 || s.EnemyAborts != 0 {
+			t.Errorf("disjoint workload must see no conflicts: %s", s)
+		}
+	}
+}
+
+func TestBankConservesMoney(t *testing.T) {
+	rt := newRT(t)
+	b := &Bank{Accounts: 10, Initial: 500, AuditRatio: 0.3, Seed: 5}
+	const workers, steps = 4, 100
+	if err := b.Init(rt, workers); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.Thread(id)
+			step := b.Step(rt, th, id)
+			for i := 0; i < steps; i++ {
+				if err := step(); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total, err := b.Total(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10 * 500; total != want {
+		t.Errorf("total = %d, want %d", total, want)
+	}
+}
+
+func TestBankValidation(t *testing.T) {
+	b := &Bank{Accounts: 1}
+	if err := b.Init(newRT(t), 1); err == nil {
+		t.Error("single-account bank must be rejected")
+	}
+}
+
+func TestIntSetSequentialSemantics(t *testing.T) {
+	rt := newRT(t)
+	s := &IntSet{KeyRange: 64, InitialFill: -1} // -1 → rng.Float64() >= -1 never true → empty... use explicit small fill
+	// InitialFill < 0 disables pre-fill entirely (Float64 ≥ 0 > fill).
+	if err := s.Init(rt, 1); err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	model := map[int]bool{}
+	ops := []struct {
+		op  string
+		key int
+	}{
+		{"add", 5}, {"add", 3}, {"add", 9}, {"add", 5},
+		{"rm", 3}, {"rm", 3}, {"add", 1}, {"rm", 9}, {"add", 7},
+	}
+	for i, op := range ops {
+		switch op.op {
+		case "add":
+			got, err := s.Add(th, op.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := !model[op.key]; got != want {
+				t.Errorf("op %d add(%d) = %v, want %v", i, op.key, got, want)
+			}
+			model[op.key] = true
+		case "rm":
+			got, err := s.Remove(th, op.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := model[op.key]; got != want {
+				t.Errorf("op %d remove(%d) = %v, want %v", i, op.key, got, want)
+			}
+			delete(model, op.key)
+		}
+		for k := 0; k < 10; k++ {
+			got, err := s.Contains(th, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != model[k] {
+				t.Errorf("op %d: contains(%d) = %v, want %v", i, k, got, model[k])
+			}
+		}
+	}
+	keys, err := s.Snapshot(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Errorf("snapshot not sorted: %v", keys)
+	}
+	if len(keys) != len(model) {
+		t.Errorf("snapshot size %d, want %d", len(keys), len(model))
+	}
+}
+
+func TestIntSetConcurrent(t *testing.T) {
+	for _, mk := range []func(*testing.T) *core.Runtime{newRT, newClockRT} {
+		rt := mk(t)
+		s := &IntSet{KeyRange: 32, UpdateRatio: 0.6, Seed: 11}
+		const workers, steps = 4, 150
+		if err := s.Init(rt, workers); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th := rt.Thread(id)
+				step := s.Step(rt, th, id)
+				for i := 0; i < steps; i++ {
+					if err := step(); err != nil {
+						t.Errorf("worker %d: %v", id, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		keys, err := s.Snapshot(rt.Thread(50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.IntsAreSorted(keys) {
+			t.Errorf("list not sorted after concurrency: %v", keys)
+		}
+		seen := map[int]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Errorf("duplicate key %d in list", k)
+			}
+			seen[k] = true
+			if k < 0 || k >= 32 {
+				t.Errorf("key %d outside range", k)
+			}
+		}
+	}
+}

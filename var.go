@@ -1,0 +1,51 @@
+package tstm
+
+import "repro/internal/core"
+
+// Var is a typed transactional variable. Values are stored as immutable
+// snapshots: Set replaces the value, so mutable types (slices, maps,
+// pointers to mutated structs) must be copied by the caller before storing
+// if they are modified afterwards.
+//
+// A Var may be used with any Runtime; the runtime only enters the picture
+// through the transaction passed to Get and Set.
+type Var[T any] struct {
+	obj *core.Object
+}
+
+// NewVar creates a transactional variable holding an initial value.
+func NewVar[T any](initial T) *Var[T] {
+	return &Var[T]{obj: core.NewObject(initial)}
+}
+
+// Get reads the variable within the transaction, maintaining the
+// transaction's consistent snapshot. On ErrAborted the closure must return
+// promptly (the runner retries).
+func (v *Var[T]) Get(tx *Tx) (T, error) {
+	val, err := tx.Read(v.obj)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return val.(T), nil
+}
+
+// Set writes the variable within the transaction. The write becomes visible
+// to other transactions atomically at commit.
+func (v *Var[T]) Set(tx *Tx, val T) error {
+	return tx.Write(v.obj, val)
+}
+
+// Update applies f to the current value and stores the result — the common
+// read-modify-write in one call.
+func (v *Var[T]) Update(tx *Tx, f func(T) T) error {
+	cur, err := v.Get(tx)
+	if err != nil {
+		return err
+	}
+	return v.Set(tx, f(cur))
+}
+
+// Object exposes the underlying engine object for benchmarks and tools
+// inside this module.
+func (v *Var[T]) Object() *core.Object { return v.obj }
