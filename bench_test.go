@@ -27,7 +27,9 @@ import (
 
 	"repro/internal/clocksync"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/hwclock"
 	"repro/internal/rstmval"
 	"repro/internal/simmachine"
@@ -70,9 +72,16 @@ func BenchmarkFig1_ClockComparison(b *testing.B) {
 // across the given worker count on a fresh runtime and reports tx/s.
 func runDisjoint(b *testing.B, tb timebase.TimeBase, size, threads int) {
 	b.Helper()
-	rt := core.MustRuntime(core.Config{TimeBase: tb})
-	w := &workload.Disjoint{Accesses: size}
-	if err := w.Init(rt, threads); err != nil {
+	eng := engine.WrapLSA(tb.Name(), core.MustRuntime(core.Config{TimeBase: tb}))
+	runWorkload(b, eng, &workload.Disjoint{Accesses: size}, threads)
+}
+
+// runWorkload drives b.N workload steps split across the worker count on
+// the given engine and reports tx/s — the benchmark-shaped version of the
+// harness loop, usable with any registered backend.
+func runWorkload(b *testing.B, eng engine.Engine, w harness.Workload, threads int) {
+	b.Helper()
+	if err := w.Init(eng, threads); err != nil {
 		b.Fatal(err)
 	}
 	per := b.N / threads
@@ -85,8 +94,8 @@ func runDisjoint(b *testing.B, tb timebase.TimeBase, size, threads int) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
-			step := w.Step(rt, th, id)
+			th := eng.Thread(id)
+			step := w.Step(eng, th, id)
 			for i := 0; i < per; i++ {
 				if err := step(); err != nil {
 					b.Error(err)
@@ -99,6 +108,58 @@ func runDisjoint(b *testing.B, tb timebase.TimeBase, size, threads int) {
 	b.StopTimer()
 	txs := float64(per * threads)
 	b.ReportMetric(txs/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkEngineMatrix runs the bank and intset workloads on every
+// registered backend — the cross-engine comparison the unified engine layer
+// buys: any future backend shows up here for free.
+func BenchmarkEngineMatrix(b *testing.B) {
+	const threads = 4
+	for _, name := range engine.Names() {
+		b.Run("bank/"+name, func(b *testing.B) {
+			eng := engine.MustNew(name, engine.Options{Nodes: threads})
+			runWorkload(b, eng, &workload.Bank{Accounts: 64, Seed: 1}, threads)
+		})
+		b.Run("intset/"+name, func(b *testing.B) {
+			eng := engine.MustNew(name, engine.Options{Nodes: threads})
+			runWorkload(b, eng, &workload.IntSet{KeyRange: 128, Seed: 1}, threads)
+		})
+	}
+}
+
+// BenchmarkReadSetIndex measures the access-set lookup paths. Each
+// transaction reads n distinct objects (n access-set entries — note a
+// read-modify-write would add two entries per object) and then re-reads
+// them all, so every re-read exercises the entry lookup. n ≤ 8 stays on
+// the linear-scan fast path with no map in sight; larger n promotes to the
+// map. Before the fast path, every attempt paid the map clearing and
+// hashed inserts even for 2-object transactions.
+func BenchmarkReadSetIndex(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		b.Run(fmt.Sprintf("reads=%d", n), func(b *testing.B) {
+			rt := core.MustRuntime(core.Config{TimeBase: timebase.NewSharedCounter()})
+			objs := make([]*core.Object, n)
+			for i := range objs {
+				objs[i] = core.NewObject(0)
+			}
+			th := rt.Thread(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := th.RunReadOnly(func(tx *core.Tx) error {
+					for pass := 0; pass < 2; pass++ {
+						for _, o := range objs {
+							if _, err := tx.Read(o); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig2_RealSTM is Figure 2 on the real engine: disjoint update

@@ -8,10 +8,26 @@
 //	lsabench -experiment tl2opt               TL2 counter optimization comparison (§4.2)
 //	lsabench -experiment errors               synchronization-error ablation (§4.3)
 //	lsabench -experiment baselines            LSA-RT vs TL2 vs validating STM (§1.2)
+//	lsabench -experiment bench                cross-engine workload matrix (every registered backend)
 //	lsabench -experiment all                  everything above
+//
+// The bench experiment iterates the engine registry: every STM backend —
+// LSA under each time base, TL2, the word-based engine, the validating
+// baseline — runs the same workloads through the same harness. Select
+// backends with -engine (which implies -experiment bench when no experiment
+// is named):
+//
+//	lsabench -engine tl2                      bank + intset on TL2 only
+//	lsabench -engine lsa/mmtimer,wordstm      two backends, same scenarios
+//	lsabench -experiment bench -json BENCH_engines.json
+//
+// With -json, bench results are also written as machine-readable records
+// (one per engine × workload) so successive PRs can track the performance
+// trajectory in checked-in BENCH_*.json files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,13 +35,16 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig2|fig2word|fig2sim|tl2opt|errors|baselines|all")
+		experiment = flag.String("experiment", "", "fig1|fig2|fig2word|fig2sim|tl2opt|errors|baselines|bench|all (default all; bench when -engine is set)")
 		duration   = flag.Duration("duration", 300*time.Millisecond, "measured interval per point (real-STM experiments)")
 		warmup     = flag.Duration("warmup", 0, "warmup before each measurement (default duration/5)")
 		threads    = flag.String("threads", "", "comma-separated worker counts (default 1,2,4,6,8,12,16)")
@@ -33,8 +52,38 @@ func main() {
 		rounds     = flag.Int("rounds", 100, "clock-comparison rounds for fig1")
 		simNs      = flag.Int64("sim-ns", 50_000_000, "simulated horizon per fig2sim point, ns")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		engines    = flag.String("engine", "", "comma-separated engine names for the bench experiment (default: all registered; see -list-engines)")
+		listEng    = flag.Bool("list-engines", false, "print the registered engine names and exit")
+		workers    = flag.Int("workers", 4, "worker count for the bench experiment")
+		jsonPath   = flag.String("json", "", "also write bench results as JSON records to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
+
+	if *listEng {
+		for _, n := range engine.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	// A bare -engine selection means "run the cross-engine bench on these".
+	if *experiment == "" {
+		if *engines != "" {
+			*experiment = "bench"
+		} else {
+			*experiment = "all"
+		}
+	}
+	// -engine and -json only affect the bench experiment; refuse silently
+	// dropping them when an explicit experiment excludes it.
+	if *experiment != "bench" && *experiment != "all" {
+		if *engines != "" {
+			fatal(fmt.Errorf("-engine only applies to -experiment bench (got -experiment %s)", *experiment))
+		}
+		if *jsonPath != "" {
+			fatal(fmt.Errorf("-json only applies to -experiment bench (got -experiment %s)", *experiment))
+		}
+	}
 
 	th, err := parseInts(*threads)
 	if err != nil {
@@ -110,18 +159,84 @@ func main() {
 			}
 			header("§1.2 — read-only scans under disjoint updates: LSA-RT vs baselines")
 			emit(res.Table, *csv)
+		case "bench":
+			results, err := runBench(selectedEngines(*engines), *workers, *duration, *warmup)
+			if err != nil {
+				fatal(err)
+			}
+			header("Cross-engine workload matrix (one harness, every registered backend)")
+			emit(benchTable(results), *csv)
+			if *jsonPath != "" {
+				if err := writeJSON(*jsonPath, results); err != nil {
+					fatal(err)
+				}
+			}
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig2word", "fig2sim", "tl2opt", "errors", "baselines"} {
+		for _, name := range []string{"fig1", "fig2", "fig2word", "fig2sim", "tl2opt", "errors", "baselines", "bench"} {
 			run(name)
 		}
 		return
 	}
 	run(*experiment)
+}
+
+// benchWorkloads are the scenarios of the cross-engine matrix. Fresh values
+// per engine: workloads hold engine-bound state after Init.
+func benchWorkloads() []harness.Workload {
+	return []harness.Workload{
+		&workload.Bank{Accounts: 64, Seed: 1},
+		&workload.IntSet{KeyRange: 128, Seed: 1},
+		&workload.HashSet{Buckets: 64, Seed: 1},
+		&workload.Disjoint{Accesses: 10},
+	}
+}
+
+func selectedEngines(spec string) []string {
+	if spec == "" || spec == "all" {
+		return engine.Names()
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runBench(engines []string, workers int, duration, warmup time.Duration) ([]harness.Result, error) {
+	return harness.RunAcross(engines, benchWorkloads,
+		engine.Options{Nodes: workers},
+		harness.Options{Workers: workers, Duration: duration, Warmup: warmup})
+}
+
+func benchTable(results []harness.Result) *stats.Table {
+	t := stats.NewTable("engine", "workload", "workers", "tx/s", "aborts/attempt")
+	for _, r := range results {
+		t.AddRowf(r.Engine, r.Workload, r.Workers,
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.4f", r.Stats.AbortRate()))
+	}
+	return t
+}
+
+func writeJSON(path string, results []harness.Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func header(title string) {

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
 )
 
 func TestParseInts(t *testing.T) {
@@ -27,5 +34,45 @@ func TestParseInts(t *testing.T) {
 		if c.ok && !reflect.DeepEqual(got, c.want) {
 			t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
 		}
+	}
+}
+
+func TestSelectedEngines(t *testing.T) {
+	if got := selectedEngines(""); !reflect.DeepEqual(got, engine.Names()) {
+		t.Errorf("empty spec = %v, want all registered", got)
+	}
+	if got := selectedEngines("all"); !reflect.DeepEqual(got, engine.Names()) {
+		t.Errorf("all spec = %v, want all registered", got)
+	}
+	if got := selectedEngines(" tl2 , lsa/shared "); !reflect.DeepEqual(got, []string{"tl2", "lsa/shared"}) {
+		t.Errorf("explicit spec = %v", got)
+	}
+}
+
+func TestRunBenchOneEngineAndJSON(t *testing.T) {
+	results, err := runBench([]string{"tl2"}, 2, 20*time.Millisecond, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(benchWorkloads()); len(results) != want {
+		t.Fatalf("results = %d, want %d", len(results), want)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := writeJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []harness.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(back) != len(results) || back[0].Engine != "tl2" || back[0].Txs == 0 {
+		t.Errorf("bad records: %+v", back)
+	}
+	if benchTable(results).String() == "" {
+		t.Error("empty bench table")
 	}
 }

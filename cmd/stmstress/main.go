@@ -1,42 +1,86 @@
-// Command stmstress hammers the STM's consistency invariants under real
-// concurrency, across every time base, and exits non-zero on any violation.
-// It is the long-running companion to the unit tests: run it for minutes or
-// hours to gain confidence in the engine on a particular machine.
+// Command stmstress hammers STM consistency invariants under real
+// concurrency, across every registered engine, and exits non-zero on any
+// violation. It is the long-running companion to the unit tests: run it for
+// minutes or hours to gain confidence in the engines on a particular
+// machine.
 //
 //	stmstress -duration 10s
-//	stmstress -duration 1m -workers 8 -timebase extsync:5000
+//	stmstress -duration 1m -workers 8 -engine lsa/extsync
+//	stmstress -engine tl2,wordstm,rstmval
+//	stmstress -timebase extsync:5000            LSA core on a custom time base
+//
+// The workload mixes bank transfers with read-only audits of the conserved
+// total, plus a writer/checker pair whose two cells must always sum to
+// zero — torn reads, lost updates, and inconsistent snapshots all surface
+// as counted violations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		duration = flag.Duration("duration", 5*time.Second, "stress duration per time base")
+		duration = flag.Duration("duration", 5*time.Second, "stress duration per engine")
 		workers  = flag.Int("workers", 8, "concurrent workers")
-		tbFlag   = flag.String("timebase", "", "single time base to stress (default: all)")
+		engFlag  = flag.String("engine", "", "comma-separated engines to stress (default: all registered)")
+		tbFlag   = flag.String("timebase", "", "stress the LSA core on this time base instead (counter|tl2counter|mmtimer|ideal|extsync:<dev>)")
 		accounts = flag.Int("accounts", 32, "bank accounts")
-		versions = flag.Int("versions", 0, "object history depth (0 = default)")
+		versions = flag.Int("versions", 0, "LSA object history depth (0 = default)")
 	)
 	flag.Parse()
 
-	bases := []string{"counter", "tl2counter", "mmtimer", "ideal", "extsync:2000"}
-	if *tbFlag != "" {
-		bases = []string{*tbFlag}
+	type target struct {
+		name string
+		eng  engine.Engine
 	}
+	var targets []target
+	switch {
+	case *tbFlag != "" && *engFlag != "":
+		fatal(fmt.Errorf("-timebase and -engine are mutually exclusive"))
+	case *tbFlag != "":
+		tb, err := experiments.NewTimeBase(*tbFlag, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		rt, err := core.NewRuntime(core.Config{TimeBase: tb, MaxVersions: *versions})
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, target{"lsa(" + *tbFlag + ")", engine.WrapLSA(tb.Name(), rt)})
+	default:
+		names := engine.Names()
+		if *engFlag != "" {
+			names = names[:0]
+			for _, n := range strings.Split(*engFlag, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+		}
+		for _, n := range names {
+			eng, err := engine.New(n, engine.Options{Nodes: *workers, MaxVersions: *versions})
+			if err != nil {
+				fatal(err)
+			}
+			targets = append(targets, target{n, eng})
+		}
+	}
+
 	failed := false
-	for _, name := range bases {
-		if err := stress(name, *workers, *accounts, *versions, *duration); err != nil {
-			fmt.Fprintf(os.Stderr, "stmstress: %s: %v\n", name, err)
+	for _, t := range targets {
+		if err := stress(t.eng, t.name, *workers, *accounts, *duration); err != nil {
+			fmt.Fprintf(os.Stderr, "stmstress: %s: %v\n", t.name, err)
 			failed = true
 		}
 	}
@@ -47,21 +91,13 @@ func main() {
 
 // stress runs transfers, audits, and pair-writers concurrently and checks
 // every invariant transactionally.
-func stress(tbName string, workers, accounts, versions int, d time.Duration) error {
-	tb, err := experiments.NewTimeBase(tbName, workers)
-	if err != nil {
-		return err
-	}
-	rt, err := core.NewRuntime(core.Config{TimeBase: tb, MaxVersions: versions})
-	if err != nil {
-		return err
-	}
+func stress(eng engine.Engine, name string, workers, accounts int, d time.Duration) error {
 	const initial = 1000
-	objs := make([]*core.Object, accounts)
-	for i := range objs {
-		objs[i] = core.NewObject(initial)
+	cells := make([]engine.Cell, accounts)
+	for i := range cells {
+		cells[i] = eng.NewCell(initial)
 	}
-	pairA, pairB := core.NewObject(0), core.NewObject(0)
+	pairA, pairB := eng.NewCell(0), eng.NewCell(0)
 
 	var stop atomic.Bool
 	var violations atomic.Int64
@@ -72,7 +108,7 @@ func stress(tbName string, workers, accounts, versions int, d time.Duration) err
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
+			th := eng.Thread(id)
 			n := 0
 			for !stop.Load() {
 				n++
@@ -83,29 +119,29 @@ func stress(tbName string, workers, accounts, versions int, d time.Duration) err
 					if from == to {
 						to = (to + 1) % accounts
 					}
-					err = th.Run(func(tx *core.Tx) error {
-						fv, err := tx.Read(objs[from])
+					err = th.Run(func(tx engine.Txn) error {
+						fv, err := engine.Get[int](tx, cells[from])
 						if err != nil {
 							return err
 						}
-						tv, err := tx.Read(objs[to])
+						tv, err := engine.Get[int](tx, cells[to])
 						if err != nil {
 							return err
 						}
-						if err := tx.Write(objs[from], fv.(int)-1); err != nil {
+						if err := tx.Write(cells[from], fv-1); err != nil {
 							return err
 						}
-						return tx.Write(objs[to], tv.(int)+1)
+						return tx.Write(cells[to], tv+1)
 					})
 				case 1: // audit
-					err = th.RunReadOnly(func(tx *core.Tx) error {
+					err = th.RunReadOnly(func(tx engine.Txn) error {
 						sum := 0
-						for _, o := range objs {
-							v, err := tx.Read(o)
+						for _, c := range cells {
+							v, err := engine.Get[int](tx, c)
 							if err != nil {
 								return err
 							}
-							sum += v.(int)
+							sum += v
 						}
 						if sum != accounts*initial {
 							violations.Add(1)
@@ -114,23 +150,23 @@ func stress(tbName string, workers, accounts, versions int, d time.Duration) err
 						return nil
 					})
 				case 2: // pair writer
-					err = th.Run(func(tx *core.Tx) error {
+					err = th.Run(func(tx engine.Txn) error {
 						if err := tx.Write(pairA, n); err != nil {
 							return err
 						}
 						return tx.Write(pairB, -n)
 					})
 				default: // pair checker
-					err = th.Run(func(tx *core.Tx) error {
-						av, err := tx.Read(pairA)
+					err = th.Run(func(tx engine.Txn) error {
+						av, err := engine.Get[int](tx, pairA)
 						if err != nil {
 							return err
 						}
-						bv, err := tx.Read(pairB)
+						bv, err := engine.Get[int](tx, pairB)
 						if err != nil {
 							return err
 						}
-						if av.(int)+bv.(int) != 0 {
+						if av+bv != 0 {
 							violations.Add(1)
 							return fmt.Errorf("torn pair: %d/%d", av, bv)
 						}
@@ -155,8 +191,13 @@ func stress(tbName string, workers, accounts, versions int, d time.Duration) err
 	if v := violations.Load(); v > 0 {
 		return fmt.Errorf("%d invariant violations", v)
 	}
-	s := rt.Stats()
+	s := eng.Stats()
 	fmt.Printf("%-16s ok: %d txs in %v (%.0f tx/s), aborts/attempt=%.4f, helps=%d, extensions=%d\n",
-		tbName, txs.Load(), d, float64(txs.Load())/d.Seconds(), s.AbortRate(), s.Helps, s.Extensions)
+		name, txs.Load(), d, float64(txs.Load())/d.Seconds(), s.AbortRate(), s.Helps, s.Extensions)
 	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stmstress:", err)
+	os.Exit(1)
 }

@@ -105,7 +105,6 @@ func (rt *Runtime) SnapshotIsolation() bool { return rt.si }
 // goroutine.
 func (rt *Runtime) Thread(id int) *Thread {
 	th := &Thread{rt: rt, id: id, clock: rt.tb.Clock(id)}
-	th.index = make(map[*Object]int, 16)
 	rt.mu.Lock()
 	rt.threads = append(rt.threads, th)
 	rt.mu.Unlock()

@@ -14,6 +14,8 @@ type Thread struct {
 	id    int
 	clock timebase.Clock
 	seq   uint64
+	// index is the reusable object→entry map lent to transactions whose
+	// access set outgrows the linear-scan fast path. Lazily allocated.
 	index map[*Object]int
 	stats Stats
 	_     [64]byte // keep each worker's stats off its neighbours' cache lines
@@ -73,19 +75,19 @@ func (th *Thread) run(readOnly bool, fn func(*Tx) error) error {
 	}
 }
 
-// newTx builds a fresh attempt. The entry index map is reused across
-// attempts (helpers never touch it); the entries slice is not, because a
+// newTx builds a fresh attempt. The attempt starts with no entry index —
+// small access sets are served by a linear scan, and only a transaction
+// that outgrows smallAccessSet promotes to the Thread's reusable map
+// (helpers never touch it). The entries slice is never reused, because a
 // helper may still be validating a previous attempt's frozen access set.
 func (th *Thread) newTx(attempt int, readOnly bool) *Tx {
 	th.seq++
-	clear(th.index)
 	tx := &Tx{
 		th:       th,
 		rt:       th.rt,
 		id:       th.seq<<16 | uint64(th.id&0xffff),
 		attempt:  attempt,
 		readOnly: readOnly,
-		index:    th.index,
 	}
 	tx.begin()
 	return tx

@@ -34,8 +34,10 @@ type Tx struct {
 	// only while active; frozen (and readable by helpers) once the status
 	// CAS to committing is observed.
 	entries []entry
-	// index maps objects to their entry, shared with the Thread and cleared
-	// per attempt. Owner-only; never examined by helpers.
+	// index maps objects to their entry once the access set outgrows the
+	// linear-scan fast path (see lookup). nil for small transactions; when
+	// non-nil it is the Thread's reusable map. Owner-only; never examined
+	// by helpers.
 	index map[*Object]int
 	// update records whether the transaction wrote anything.
 	update bool
@@ -143,7 +145,7 @@ func (tx *Tx) Read(o *Object) (any, error) {
 	if tx.Status() != StatusActive {
 		return nil, tx.errFromStatus()
 	}
-	if idx, ok := tx.index[o]; ok {
+	if idx, ok := tx.lookup(o); ok {
 		return tx.entries[idx].ver.value, nil
 	}
 	v, ok := tx.getVersion(o)
@@ -176,7 +178,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 	if tx.readOnly {
 		return ErrReadOnly
 	}
-	if idx, ok := tx.index[o]; ok && tx.entries[idx].written {
+	if idx, ok := tx.lookup(o); ok && tx.entries[idx].written {
 		// Already own the object: update the tentative version in place.
 		tx.entries[idx].ver.value = val
 		return nil
@@ -235,12 +237,50 @@ func (tx *Tx) Write(o *Object, val any) error {
 	}
 }
 
+// smallAccessSet is the access-set size up to which lookup scans the
+// entries slice instead of maintaining a map. Most transactions in the
+// paper's workloads touch a handful of objects; for those, a backward
+// linear scan over a contiguous slice beats a map's hashing and its
+// per-attempt clearing cost.
+const smallAccessSet = 8
+
+// lookup finds the most recent entry for o (a write upgrade appends a
+// second entry for the same object; the latest one carries the tentative
+// value). Small access sets scan backwards; larger ones use the map built
+// by addEntry.
+func (tx *Tx) lookup(o *Object) (int, bool) {
+	if tx.index != nil {
+		idx, ok := tx.index[o]
+		return idx, ok
+	}
+	for i := len(tx.entries) - 1; i >= 0; i-- {
+		if tx.entries[i].obj == o {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // addEntry appends (o, v) to T.O and indexes it. A write upgrade leaves the
 // previously read entry in place so commit-time validation still checks the
-// version the transaction actually read.
+// version the transaction actually read. Crossing smallAccessSet promotes
+// the index to the Thread's reusable map (populated in entry order, so each
+// object maps to its latest entry).
 func (tx *Tx) addEntry(o *Object, v *version, written bool) {
 	tx.entries = append(tx.entries, entry{obj: o, ver: v, written: written})
-	tx.index[o] = len(tx.entries) - 1
+	if tx.index != nil {
+		tx.index[o] = len(tx.entries) - 1
+	} else if len(tx.entries) > smallAccessSet {
+		if tx.th.index == nil {
+			tx.th.index = make(map[*Object]int, 4*smallAccessSet)
+		} else {
+			clear(tx.th.index)
+		}
+		tx.index = tx.th.index
+		for i := range tx.entries {
+			tx.index[tx.entries[i].obj] = i
+		}
+	}
 	tx.ops.Add(1)
 }
 

@@ -1,0 +1,173 @@
+// Cross-backend conformance suite: every registered engine must preserve
+// the transactional invariants the paper's comparisons assume — atomicity
+// of multi-cell updates (the bank's conserved total) and snapshot
+// consistency of reads (a writer/checker pair that must always sum to
+// zero). Run with -race; the suite is also the compatibility gate for new
+// backends: register the engine and these tests cover it with no further
+// wiring.
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+const confWorkers = 4
+
+func TestConformanceBankInvariant(t *testing.T) {
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := engine.MustNew(name, engine.Options{Nodes: confWorkers})
+			b := &workload.Bank{Accounts: 16, Initial: 200, AuditRatio: 0.25, Seed: 42}
+			if err := b.Init(eng, confWorkers); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for id := 0; id < confWorkers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := eng.Thread(id)
+					step := b.Step(eng, th, id)
+					for i := 0; i < 200; i++ {
+						if err := step(); err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			total, err := b.Total()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 16 * 200; total != want {
+				t.Errorf("money not conserved: total = %d, want %d", total, want)
+			}
+			if s := eng.Stats(); s.Commits == 0 {
+				t.Errorf("engine counted no commits: %+v", s)
+			}
+		})
+	}
+}
+
+// TestConformanceSnapshotConsistency hammers a writer/checker pair: writers
+// atomically store {n, -n}, checkers (both updating and read-only) must
+// never observe a sum other than zero — a torn snapshot fails immediately.
+func TestConformanceSnapshotConsistency(t *testing.T) {
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := engine.MustNew(name, engine.Options{Nodes: confWorkers})
+			a, b := eng.NewCell(0), eng.NewCell(0)
+			var violations atomic.Int64
+			var wg sync.WaitGroup
+			for id := 0; id < confWorkers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := eng.Thread(id)
+					for i := 1; i <= 300; i++ {
+						var err error
+						switch {
+						case id%2 == 0:
+							n := id*1000 + i
+							err = th.Run(func(tx engine.Txn) error {
+								if err := tx.Write(a, n); err != nil {
+									return err
+								}
+								return tx.Write(b, -n)
+							})
+						case i%2 == 0:
+							err = th.RunReadOnly(func(tx engine.Txn) error {
+								return checkPair(tx, a, b, &violations)
+							})
+						default:
+							err = th.Run(func(tx engine.Txn) error {
+								return checkPair(tx, a, b, &violations)
+							})
+						}
+						if err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			if v := violations.Load(); v > 0 {
+				t.Errorf("%d torn snapshots observed", v)
+			}
+		})
+	}
+}
+
+func checkPair(tx engine.Txn, a, b engine.Cell, violations *atomic.Int64) error {
+	av, err := engine.Get[int](tx, a)
+	if err != nil {
+		return err
+	}
+	bv, err := engine.Get[int](tx, b)
+	if err != nil {
+		return err
+	}
+	if av+bv != 0 {
+		violations.Add(1)
+		return fmt.Errorf("torn pair: %d/%d", av, bv)
+	}
+	return nil
+}
+
+// TestConformanceIntSet runs the linked-list set concurrently on every
+// backend and checks the surviving structure — dynamic cell allocation
+// inside transactions (node inserts) must compose with each engine's
+// retry machinery.
+func TestConformanceIntSet(t *testing.T) {
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := engine.MustNew(name, engine.Options{Nodes: confWorkers})
+			s := &workload.IntSet{KeyRange: 32, UpdateRatio: 0.6, Seed: 17}
+			if err := s.Init(eng, confWorkers); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for id := 0; id < confWorkers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := eng.Thread(id)
+					step := s.Step(eng, th, id)
+					for i := 0; i < 150; i++ {
+						if err := step(); err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			keys, err := s.Snapshot(eng.Thread(confWorkers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[int]bool{}
+			last := -1
+			for _, k := range keys {
+				if k <= last {
+					t.Errorf("list out of order: %v", keys)
+					break
+				}
+				last = k
+				if seen[k] {
+					t.Errorf("duplicate key %d", k)
+				}
+				seen[k] = true
+			}
+		})
+	}
+}

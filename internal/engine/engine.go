@@ -1,0 +1,216 @@
+// Package engine defines the backend-neutral transactional-memory interface
+// that every STM variant in this repository implements, plus a name-keyed
+// registry of backends.
+//
+// The paper's claims are comparative — LSA-RT against the shared-counter,
+// TL2-style, and hardware-clock time bases, and against single-version and
+// validating STM designs — so the repository carries several engines:
+//
+//   - the multi-version object-based LSA core (internal/core), under every
+//     pluggable time base ("lsa/shared", "lsa/tl2ts", "lsa/mmtimer",
+//     "lsa/ideal", "lsa/extsync"),
+//   - the word-based LSA variant ("wordstm"),
+//   - a TL2 reimplementation ("tl2"),
+//   - a validating STM with the RSTM commit-counter heuristic ("rstmval").
+//
+// This package makes them interchangeable: workloads, the throughput
+// harness, the stress tool, and the benchmarks are written once against
+// Engine/Thread/Txn and run on any registered backend by name.
+//
+// A Cell is an engine-specific handle for one transactional variable; it
+// must only be used with transactions of the engine that created it. Values
+// are stored as immutable snapshots (callers copy mutable values before
+// storing). The typed accessors Get, Set and Update recover static typing on
+// top of the any-valued Txn interface.
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cell is an opaque handle to one transactional variable. Cells are created
+// by Engine.NewCell and are only valid with transactions of that engine.
+type Cell interface{}
+
+// Txn is one transaction attempt. The closure passed to Thread.Run receives
+// a Txn and must confine its side effects to Read and Write; on error it
+// must return promptly (the engine retries aborted attempts).
+type Txn interface {
+	// Read returns the cell's value in the transaction's snapshot.
+	Read(c Cell) (any, error)
+	// Write installs val as the cell's tentative new value; it becomes
+	// visible atomically at commit.
+	Write(c Cell, val any) error
+}
+
+// Thread is one worker's execution context. A Thread must be used by a
+// single goroutine; create one per worker with Engine.Thread.
+type Thread interface {
+	// ID returns the worker id the thread was created with.
+	ID() int
+	// Run executes fn as an update-capable transaction, retrying on aborts
+	// until it commits. A non-abort error from fn cancels the transaction
+	// and is returned unchanged.
+	Run(fn func(Txn) error) error
+	// RunReadOnly executes fn as a declared read-only transaction: writes
+	// are rejected, and multi-version engines may serve reads from older
+	// versions so long scans do not abort concurrent updates.
+	RunReadOnly(fn func(Txn) error) error
+}
+
+// Engine is an instantiated transactional memory backend.
+type Engine interface {
+	// Name identifies the backend (usually its registry name).
+	Name() string
+	// NewCell allocates a transactional variable holding initial. Safe to
+	// call concurrently, including from inside transaction closures (a cell
+	// is private until a committed write publishes a reference to it).
+	NewCell(initial any) Cell
+	// Thread creates the execution context for one worker goroutine. id
+	// selects the worker's clock for per-node time bases; use dense indices
+	// 0..N−1.
+	Thread(id int) Thread
+	// Stats sums all threads' counters. Only call while no transactions
+	// run; engines keep per-thread counters unsynchronized so statistics
+	// cannot perturb the scalability under measurement.
+	Stats() Stats
+}
+
+// Stats aggregates commit/abort counters across an engine's threads. The
+// detail fields mirror the LSA core's counters; engines that cannot
+// attribute aborts leave them zero and fill only Commits and Aborts.
+type Stats struct {
+	// Commits counts successfully committed transactions.
+	Commits uint64 `json:"commits"`
+	// Aborts counts aborted attempts (every retry is one abort).
+	Aborts uint64 `json:"aborts"`
+	// AbortSnapshot counts aborts for lack of a consistent snapshot.
+	AbortSnapshot uint64 `json:"abort_snapshot,omitempty"`
+	// AbortValidation counts commit-time validation failures.
+	AbortValidation uint64 `json:"abort_validation,omitempty"`
+	// AbortConflict counts aborts decreed against self by the contention
+	// manager.
+	AbortConflict uint64 `json:"abort_conflict,omitempty"`
+	// AbortExternal counts aborts inflicted by other threads.
+	AbortExternal uint64 `json:"abort_external,omitempty"`
+	// UserAborts counts transactions abandoned by application error.
+	UserAborts uint64 `json:"user_aborts,omitempty"`
+	// Extensions counts validity-range extension attempts.
+	Extensions uint64 `json:"extensions,omitempty"`
+	// Helps counts completions of other transactions' commits.
+	Helps uint64 `json:"helps,omitempty"`
+	// EnemyAborts counts enemy transactions aborted by this engine's
+	// threads.
+	EnemyAborts uint64 `json:"enemy_aborts,omitempty"`
+}
+
+// AbortRate returns aborts per attempt: Aborts / (Commits + Aborts).
+func (s Stats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d (rate=%.4f)", s.Commits, s.Aborts, s.AbortRate())
+}
+
+// Get reads the cell and asserts its value to T.
+func Get[T any](tx Txn, c Cell) (T, error) {
+	v, err := tx.Read(c)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("engine: cell holds %T, not %T", v, zero)
+	}
+	return t, nil
+}
+
+// Set writes a typed value to the cell.
+func Set[T any](tx Txn, c Cell, val T) error {
+	return tx.Write(c, val)
+}
+
+// Update applies f to the cell's current value and stores the result — the
+// common read-modify-write in one call.
+func Update[T any](tx Txn, c Cell, f func(T) T) error {
+	cur, err := Get[T](tx, c)
+	if err != nil {
+		return err
+	}
+	return tx.Write(c, f(cur))
+}
+
+// txnCounters are the per-thread commit/abort tallies shared by the adapter
+// backends whose native runtimes keep no statistics. The attempt count of a
+// retry loop (how many times the closure ran) fully determines them: the
+// last attempt either committed or carried the user error out, every
+// earlier one was an abort. The trailing padding keeps each worker's
+// counters off its neighbours' cache lines.
+type txnCounters struct {
+	commits    uint64
+	aborts     uint64
+	userAborts uint64
+	_          [40]byte
+}
+
+func (c *txnCounters) record(attempts uint64, err error) {
+	if attempts == 0 {
+		return
+	}
+	c.aborts += attempts - 1
+	if err == nil {
+		c.commits++
+	} else {
+		c.userAborts++
+	}
+}
+
+// counterSet is the per-engine registry of thread counters embedded by the
+// adapter backends: Thread() allocates one entry per worker, Stats() sums
+// them.
+type counterSet struct {
+	mu       sync.Mutex
+	counters []*txnCounters
+}
+
+func (s *counterSet) newCounters() *txnCounters {
+	c := &txnCounters{}
+	s.mu.Lock()
+	s.counters = append(s.counters, c)
+	s.mu.Unlock()
+	return c
+}
+
+func (s *counterSet) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total Stats
+	for _, c := range s.counters {
+		total.Commits += c.commits
+		total.Aborts += c.aborts
+		total.UserAborts += c.userAborts
+	}
+	return total
+}
+
+// runCounted adapts one backend-native retry loop to the engine interface
+// while tallying attempts: run is the backend's Run/RunReadOnly method
+// value, wrap lifts its concrete transaction type to Txn.
+func runCounted[T any](c *txnCounters, run func(func(T) error) error, wrap func(T) Txn, fn func(Txn) error) error {
+	var attempts uint64
+	err := run(func(tx T) error {
+		attempts++
+		return fn(wrap(tx))
+	})
+	c.record(attempts, err)
+	return err
+}

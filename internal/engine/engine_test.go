@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("registered backends = %v, want at least lsa/*, tl2, wordstm, rstmval", names)
+	}
+	for _, want := range []string{"lsa/shared", "lsa/tl2ts", "lsa/mmtimer", "lsa/ideal", "lsa/extsync", "tl2", "wordstm", "rstmval"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("backend %q not registered (have %v)", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestNewUnknownBackend(t *testing.T) {
+	_, err := New("no-such-stm", Options{})
+	if err == nil {
+		t.Fatal("unknown backend must error")
+	}
+	if !strings.Contains(err.Error(), "tl2") {
+		t.Errorf("error should list registered backends: %v", err)
+	}
+}
+
+func TestEveryBackendRoundTrips(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := MustNew(name, Options{Nodes: 2})
+			if eng.Name() != name {
+				t.Errorf("Name() = %q, want %q", eng.Name(), name)
+			}
+			c := eng.NewCell(41)
+			th := eng.Thread(0)
+			if err := th.Run(func(tx Txn) error {
+				return Update(tx, c, func(v int) int { return v + 1 })
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var got int
+			if err := th.RunReadOnly(func(tx Txn) error {
+				var err error
+				got, err = Get[int](tx, c)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != 42 {
+				t.Errorf("read back %d, want 42", got)
+			}
+			if s := eng.Stats(); s.Commits < 2 {
+				t.Errorf("stats did not count commits: %+v", s)
+			}
+		})
+	}
+}
+
+func TestTypedAccessorMismatch(t *testing.T) {
+	eng := MustNew("lsa/shared", Options{})
+	c := eng.NewCell("a string")
+	th := eng.Thread(0)
+	err := th.Run(func(tx Txn) error {
+		_, err := Get[int](tx, c)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "holds string") {
+		t.Errorf("type mismatch must surface, got %v", err)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := MustNew(name, Options{Nodes: 1})
+			c := eng.NewCell(0)
+			th := eng.Thread(0)
+			if err := th.RunReadOnly(func(tx Txn) error {
+				return tx.Write(c, 1)
+			}); err == nil {
+				t.Error("write inside read-only transaction must fail")
+			}
+		})
+	}
+}
+
+func TestWordEncoding(t *testing.T) {
+	e, err := newWord(Options{Words: 64}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	we := e.(*wordEngine)
+	type pair struct{ a, b int }
+	cases := []any{0, 1, -1, 12345, -12345, immediateMax - 1, -immediateMax + 1,
+		immediateMax, -immediateMax, int(1) << 62, "hello", pair{3, 4}, []int{1, 2}}
+	for _, v := range cases {
+		w := we.encode(v)
+		got := we.decode(w)
+		switch want := v.(type) {
+		case []int:
+			g, ok := got.([]int)
+			if !ok || len(g) != len(want) {
+				t.Errorf("encode/decode %v → %v", v, got)
+			}
+		default:
+			if got != v {
+				t.Errorf("encode/decode %v (%T) → %v (%T)", v, v, got, got)
+			}
+		}
+	}
+	// Small ints must stay immediate (no boxing).
+	before := len(we.boxes)
+	we.encode(7)
+	we.encode(-7)
+	if len(we.boxes) != before {
+		t.Errorf("small ints were boxed: %d → %d boxes", before, len(we.boxes))
+	}
+}
+
+func TestWordCellExhaustion(t *testing.T) {
+	eng, err := newWord(Options{Words: 2}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.NewCell(1)
+	eng.NewCell(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("third cell must panic on exhaustion")
+		}
+	}()
+	eng.NewCell(3)
+}
+
+func TestCrossEngineCellPanics(t *testing.T) {
+	lsa := MustNew("lsa/shared", Options{})
+	tl2e := MustNew("tl2", Options{})
+	c := lsa.NewCell(0)
+	th := tl2e.Thread(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign cell must panic")
+		}
+	}()
+	_ = th.Run(func(tx Txn) error {
+		_, err := tx.Read(c)
+		return err
+	})
+}

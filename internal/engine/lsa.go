@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/hwclock"
+	"repro/internal/timebase"
+)
+
+// The LSA backends: the multi-version object-based core under each of the
+// paper's time bases. "lsa/shared" is the classic shared-counter LSA,
+// "lsa/tl2ts" adds TL2's commit-timestamp sharing to the counter,
+// "lsa/mmtimer" and "lsa/ideal" are perfectly synchronized hardware clocks,
+// and "lsa/extsync" is the externally synchronized clock with a bounded,
+// masked deviation.
+func init() {
+	Register("lsa/shared", func(o Options) (Engine, error) {
+		return newLSA("lsa/shared", timebase.NewSharedCounter(), o)
+	})
+	Register("lsa/tl2ts", func(o Options) (Engine, error) {
+		return newLSA("lsa/tl2ts", timebase.NewTL2Counter(), o)
+	})
+	Register("lsa/mmtimer", func(o Options) (Engine, error) {
+		return newLSA("lsa/mmtimer", timebase.NewMMTimer(o.Nodes), o)
+	})
+	Register("lsa/ideal", func(o Options) (Engine, error) {
+		return newLSA("lsa/ideal", timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(o.Nodes))), o)
+	})
+	Register("lsa/extsync", func(o Options) (Engine, error) {
+		dev := hwclock.New(hwclock.Config{TickHz: 1_000_000_000, Nodes: o.Nodes, Seed: 1})
+		tb, err := timebase.NewExtSyncClockFrom(dev, o.Deviation)
+		if err != nil {
+			return nil, err
+		}
+		return newLSA("lsa/extsync", tb, o)
+	})
+}
+
+func newLSA(name string, tb timebase.TimeBase, o Options) (Engine, error) {
+	var cm core.ContentionManager
+	switch o.ContentionManager {
+	case "":
+	case "aggressive":
+		cm = contention.Aggressive{}
+	case "suicide":
+		cm = contention.Suicide{}
+	case "polite":
+		cm = contention.Polite{}
+	case "karma":
+		cm = contention.Karma{}
+	case "timestamp":
+		cm = contention.Timestamp{}
+	default:
+		return nil, fmt.Errorf("engine: unknown contention manager %q", o.ContentionManager)
+	}
+	rt, err := core.NewRuntime(core.Config{
+		TimeBase:    tb,
+		Manager:     cm,
+		MaxVersions: o.MaxVersions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return WrapLSA(name, rt), nil
+}
+
+// WrapLSA adapts an already-configured LSA core runtime to the Engine
+// interface under the given display name. Experiments that need a custom
+// time base or ablation knobs build the core.Runtime themselves and wrap it.
+func WrapLSA(name string, rt *core.Runtime) Engine {
+	return &lsaEngine{name: name, rt: rt}
+}
+
+type lsaEngine struct {
+	name string
+	rt   *core.Runtime
+}
+
+func (e *lsaEngine) Name() string { return e.name }
+
+// Unwrap exposes the underlying core runtime for tools inside this module.
+func (e *lsaEngine) Unwrap() *core.Runtime { return e.rt }
+
+func (e *lsaEngine) NewCell(initial any) Cell { return core.NewObject(initial) }
+
+func (e *lsaEngine) Thread(id int) Thread { return &lsaThread{th: e.rt.Thread(id)} }
+
+func (e *lsaEngine) Stats() Stats {
+	s := e.rt.Stats()
+	return Stats{
+		Commits:         s.Commits,
+		Aborts:          s.Aborts,
+		AbortSnapshot:   s.AbortSnapshot,
+		AbortValidation: s.AbortValidation,
+		AbortConflict:   s.AbortConflict,
+		AbortExternal:   s.AbortExternal,
+		UserAborts:      s.UserAborts,
+		Extensions:      s.Extensions,
+		Helps:           s.Helps,
+		EnemyAborts:     s.EnemyAborts,
+	}
+}
+
+type lsaThread struct {
+	th *core.Thread
+}
+
+func (t *lsaThread) ID() int { return t.th.ID() }
+
+func (t *lsaThread) Run(fn func(Txn) error) error {
+	return t.th.Run(func(tx *core.Tx) error { return fn(lsaTxn{tx}) })
+}
+
+func (t *lsaThread) RunReadOnly(fn func(Txn) error) error {
+	return t.th.RunReadOnly(func(tx *core.Tx) error { return fn(lsaTxn{tx}) })
+}
+
+type lsaTxn struct {
+	tx *core.Tx
+}
+
+func (t lsaTxn) Read(c Cell) (any, error)  { return t.tx.Read(lsaCell(c)) }
+func (t lsaTxn) Write(c Cell, v any) error { return t.tx.Write(lsaCell(c), v) }
+
+func lsaCell(c Cell) *core.Object {
+	o, ok := c.(*core.Object)
+	if !ok {
+		panic(fmt.Sprintf("engine: cell of type %T used with an LSA backend", c))
+	}
+	return o
+}

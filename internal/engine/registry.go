@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options parameterize backend construction. Every field has a usable
+// default; backends ignore fields that do not apply to them.
+type Options struct {
+	// Nodes sizes per-node time bases (one clock register per worker node).
+	// Default 8. Thread ids are taken modulo Nodes, so a smaller value than
+	// the worker count only shares clock registers, it never fails.
+	Nodes int
+	// MaxVersions is the LSA core's per-object history depth (0 = engine
+	// default). 1 yields a single-version STM.
+	MaxVersions int
+	// Deviation is the advertised clock deviation bound in ticks for
+	// "lsa/extsync" (1 GHz device, so ticks are nanoseconds). Default 2000.
+	Deviation int64
+	// Words is the transactional memory size of the word-based backend.
+	// Default 1<<20. Dynamic cell allocation (e.g. linked-list inserts)
+	// consumes words permanently, so size generously for long runs.
+	Words int
+	// ContentionManager selects the LSA conflict arbitration policy by name
+	// ("aggressive", "suicide", "polite", "karma", "timestamp"; "" = engine
+	// default).
+	ContentionManager string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 8
+	}
+	if o.Deviation <= 0 {
+		o.Deviation = 2000
+	}
+	if o.Words <= 0 {
+		o.Words = 1 << 20
+	}
+	return o
+}
+
+// Factory builds an engine instance from options.
+type Factory func(Options) (Engine, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a backend under name. It panics on duplicates — backends
+// register from init functions, so a collision is a programming error.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate backend %q", name))
+	}
+	registry[name] = f
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named backend.
+func New(name string, opt Options) (Engine, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown backend %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(opt.withDefaults())
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(name string, opt Options) Engine {
+	e, err := New(name, opt)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/rstmval"
+)
+
+// The "rstmval" backend: the validating STM with the RSTM commit-counter
+// heuristic — consistency by read-set revalidation, gated by a global
+// counter of attempted commits.
+func init() {
+	Register("rstmval", func(o Options) (Engine, error) {
+		return &rstmEngine{stm: rstmval.New()}, nil
+	})
+}
+
+type rstmEngine struct {
+	stm *rstmval.STM
+	counterSet
+}
+
+func (e *rstmEngine) Name() string { return "rstmval" }
+
+func (e *rstmEngine) NewCell(initial any) Cell { return rstmval.NewObject(initial) }
+
+func (e *rstmEngine) Thread(id int) Thread {
+	return &rstmThread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+}
+
+type rstmThread struct {
+	id       int
+	th       *rstmval.Thread
+	counters *txnCounters
+}
+
+func (t *rstmThread) ID() int { return t.id }
+
+func (t *rstmThread) Run(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.Run, wrapRSTM, fn)
+}
+
+func (t *rstmThread) RunReadOnly(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.RunReadOnly, wrapRSTM, fn)
+}
+
+func wrapRSTM(tx *rstmval.Tx) Txn { return rstmTxn{tx} }
+
+type rstmTxn struct {
+	tx *rstmval.Tx
+}
+
+func (t rstmTxn) Read(c Cell) (any, error)  { return t.tx.Read(rstmCell(c)) }
+func (t rstmTxn) Write(c Cell, v any) error { return t.tx.Write(rstmCell(c), v) }
+
+func rstmCell(c Cell) *rstmval.Object {
+	o, ok := c.(*rstmval.Object)
+	if !ok {
+		panic(fmt.Sprintf("engine: cell of type %T used with the rstmval backend", c))
+	}
+	return o
+}

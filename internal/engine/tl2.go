@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/tl2"
+)
+
+// The "tl2" backend: the lean single-version TL2 reimplementation, with its
+// own global version clock. Read-only transactions keep no read set;
+// readers that arrive too late abort instead of reading history.
+func init() {
+	Register("tl2", func(o Options) (Engine, error) {
+		return &tl2Engine{stm: tl2.New()}, nil
+	})
+}
+
+type tl2Engine struct {
+	stm *tl2.STM
+	counterSet
+}
+
+func (e *tl2Engine) Name() string { return "tl2" }
+
+func (e *tl2Engine) NewCell(initial any) Cell { return tl2.NewObject(initial) }
+
+func (e *tl2Engine) Thread(id int) Thread {
+	return &tl2Thread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+}
+
+type tl2Thread struct {
+	id       int
+	th       *tl2.Thread
+	counters *txnCounters
+}
+
+func (t *tl2Thread) ID() int { return t.id }
+
+func (t *tl2Thread) Run(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.Run, wrapTL2, fn)
+}
+
+func (t *tl2Thread) RunReadOnly(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.RunReadOnly, wrapTL2, fn)
+}
+
+func wrapTL2(tx *tl2.Tx) Txn { return tl2Txn{tx} }
+
+type tl2Txn struct {
+	tx *tl2.Tx
+}
+
+func (t tl2Txn) Read(c Cell) (any, error)  { return t.tx.Read(tl2Cell(c)) }
+func (t tl2Txn) Write(c Cell, v any) error { return t.tx.Write(tl2Cell(c), v) }
+
+func tl2Cell(c Cell) *tl2.Object {
+	o, ok := c.(*tl2.Object)
+	if !ok {
+		panic(fmt.Sprintf("engine: cell of type %T used with the tl2 backend", c))
+	}
+	return o
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/timebase"
+	"repro/internal/wordstm"
+)
+
+// The "wordstm" backend: the word-based LSA variant over the shared-counter
+// time base. The native memory is flat int64 words, so the adapter maps
+// each cell to one word and encodes values into it:
+//
+//   - small ints are stored immediately, tagged in the low bit (the common
+//     case for the counter workloads — no indirection, no allocation);
+//   - everything else is boxed into an append-only side table and the word
+//     holds the box index. The word remains the single transactional
+//     authority; the side table is immutable once written, so reads stay
+//     consistent. Boxes are never reclaimed — fine for benchmarks and
+//     tests, which is what the comparison backends exist for.
+//
+// Cells consume words permanently (Options.Words sizes the memory), and the
+// backend inherits the word engine's restriction to exact time bases.
+func init() {
+	Register("wordstm", func(o Options) (Engine, error) {
+		return newWord(o)
+	})
+}
+
+func newWord(o Options) (Engine, error) {
+	stm, err := wordstm.New(timebase.NewSharedCounter(), o.Words)
+	if err != nil {
+		return nil, err
+	}
+	return &wordEngine{stm: stm}, nil
+}
+
+type wordEngine struct {
+	stm  *wordstm.STM
+	next atomic.Int64 // next free word
+
+	boxMu sync.RWMutex
+	boxes []any
+
+	counterSet
+}
+
+// wordCell is a cell handle: the index of the cell's word.
+type wordCell wordstm.Addr
+
+func (e *wordEngine) Name() string { return "wordstm" }
+
+func (e *wordEngine) NewCell(initial any) Cell {
+	a := e.next.Add(1) - 1
+	if a >= int64(e.stm.Words()) {
+		panic(fmt.Sprintf("engine: wordstm backend out of cells (%d words; raise Options.Words)", e.stm.Words()))
+	}
+	// The word is unpublished until a committed write makes the cell
+	// reachable, so a direct store is safe even mid-run.
+	if err := e.stm.SetInitial(wordstm.Addr(a), e.encode(initial)); err != nil {
+		panic(fmt.Sprintf("engine: wordstm init: %v", err))
+	}
+	return wordCell(a)
+}
+
+// immediateMax bounds the ints stored directly in a word: the tag shift
+// costs one bit, so 63 signed bits remain — every n with |n| < 2⁶² fits.
+const immediateMax = 1 << 62
+
+func (e *wordEngine) encode(v any) int64 {
+	if n, ok := v.(int); ok && n > -immediateMax && n < immediateMax {
+		return int64(n)<<1 | 1
+	}
+	e.boxMu.Lock()
+	e.boxes = append(e.boxes, v)
+	idx := int64(len(e.boxes) - 1)
+	e.boxMu.Unlock()
+	return idx << 1
+}
+
+func (e *wordEngine) decode(w int64) any {
+	if w&1 == 1 {
+		return int(w >> 1)
+	}
+	e.boxMu.RLock()
+	v := e.boxes[w>>1]
+	e.boxMu.RUnlock()
+	return v
+}
+
+func (e *wordEngine) Thread(id int) Thread {
+	return &wordThread{id: id, eng: e, th: e.stm.Thread(id), counters: e.newCounters()}
+}
+
+type wordThread struct {
+	id       int
+	eng      *wordEngine
+	th       *wordstm.Thread
+	counters *txnCounters
+}
+
+func (t *wordThread) ID() int { return t.id }
+
+func (t *wordThread) wrap(tx *wordstm.Tx) Txn { return wordTxn{eng: t.eng, tx: tx} }
+
+func (t *wordThread) Run(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.Run, t.wrap, fn)
+}
+
+func (t *wordThread) RunReadOnly(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.RunReadOnly, t.wrap, fn)
+}
+
+type wordTxn struct {
+	eng *wordEngine
+	tx  *wordstm.Tx
+}
+
+func (t wordTxn) Read(c Cell) (any, error) {
+	w, err := t.tx.Load(wordstm.Addr(wordCellOf(c)))
+	if err != nil {
+		return nil, err
+	}
+	return t.eng.decode(w), nil
+}
+
+func (t wordTxn) Write(c Cell, v any) error {
+	// Encoding before the Store may box a value for an attempt that later
+	// aborts; the orphaned box is just garbage in the side table.
+	return t.tx.Store(wordstm.Addr(wordCellOf(c)), t.eng.encode(v))
+}
+
+func wordCellOf(c Cell) wordCell {
+	a, ok := c.(wordCell)
+	if !ok {
+		panic(fmt.Sprintf("engine: cell of type %T used with the wordstm backend", c))
+	}
+	return a
+}

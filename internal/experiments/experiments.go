@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/clocksync"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/hwclock"
 	"repro/internal/stats"
@@ -162,8 +163,9 @@ func Fig2(cfg Fig2Config) (*Fig2Result, error) {
 				if err != nil {
 					return nil, err
 				}
+				eng := engine.WrapLSA(tb.Name(), rt)
 				w := &workload.Disjoint{Accesses: size}
-				r, err := harness.Run(rt, w, harness.Options{
+				r, err := harness.Run(eng, w, harness.Options{
 					Workers:  threads,
 					Duration: cfg.Duration,
 					Warmup:   cfg.Warmup,
@@ -173,13 +175,13 @@ func Fig2(cfg Fig2Config) (*Fig2Result, error) {
 				}
 				p := Fig2Point{
 					Size:     size,
-					TimeBase: r.TimeBase,
+					TimeBase: r.Engine,
 					Threads:  threads,
 					MTxPerS:  r.Throughput / 1e6,
 					Result:   r,
 				}
 				res.Points = append(res.Points, p)
-				res.Table.AddRowf(size, r.TimeBase, threads,
+				res.Table.AddRowf(size, r.Engine, threads,
 					fmt.Sprintf("%.0f", r.Throughput),
 					fmt.Sprintf("%.4f", p.MTxPerS),
 					fmt.Sprintf("%.4f", r.Stats.AbortRate()))

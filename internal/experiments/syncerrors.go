@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/hwclock"
 	"repro/internal/stats"
@@ -54,39 +55,35 @@ type SyncErrorsResult struct {
 type readWriteMix struct {
 	objects int
 	scan    int
-	objs    []*core.Object
+	cells   []engine.Cell
 }
 
 func (m *readWriteMix) Name() string { return fmt.Sprintf("rwmix/%d", m.objects) }
 
-func (m *readWriteMix) Init(rt *core.Runtime, workers int) error {
-	m.objs = make([]*core.Object, m.objects)
-	for i := range m.objs {
-		m.objs[i] = core.NewObject(0)
+func (m *readWriteMix) Init(eng engine.Engine, workers int) error {
+	m.cells = make([]engine.Cell, m.objects)
+	for i := range m.cells {
+		m.cells[i] = eng.NewCell(0)
 	}
 	return nil
 }
 
-func (m *readWriteMix) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+func (m *readWriteMix) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	n := 0
 	return func() error {
 		n++
 		if id%2 == 0 {
 			// Updater: rewrite one object.
-			o := m.objs[(id*7+n)%len(m.objs)]
-			return th.Run(func(tx *core.Tx) error {
-				v, err := tx.Read(o)
-				if err != nil {
-					return err
-				}
-				return tx.Write(o, v.(int)+1)
+			c := m.cells[(id*7+n)%len(m.cells)]
+			return th.Run(func(tx engine.Txn) error {
+				return engine.Update(tx, c, func(v int) int { return v + 1 })
 			})
 		}
 		// Reader: scan a window read-only.
-		start := (id*13 + n) % len(m.objs)
-		return th.RunReadOnly(func(tx *core.Tx) error {
+		start := (id*13 + n) % len(m.cells)
+		return th.RunReadOnly(func(tx engine.Txn) error {
 			for i := 0; i < m.scan; i++ {
-				if _, err := tx.Read(m.objs[(start+i)%len(m.objs)]); err != nil {
+				if _, err := tx.Read(m.cells[(start+i)%len(m.cells)]); err != nil {
 					return err
 				}
 			}
@@ -129,8 +126,9 @@ func SyncErrors(cfg SyncErrorsConfig) (*SyncErrorsResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			eng := engine.WrapLSA(tb.Name(), rt)
 			w := &readWriteMix{objects: 64, scan: 16}
-			r, err := harness.Run(rt, w, harness.Options{
+			r, err := harness.Run(eng, w, harness.Options{
 				Workers:  cfg.Threads,
 				Duration: cfg.Duration,
 				Warmup:   cfg.Warmup,

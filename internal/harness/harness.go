@@ -1,7 +1,8 @@
-// Package harness drives throughput experiments over the LSA-RT engine:
-// it spins up worker goroutines, runs a workload for a fixed duration with
-// warmup, and reports committed transactions per second — the measurement
-// protocol behind the paper's Figure 2.
+// Package harness drives throughput experiments over any registered STM
+// backend: it spins up worker goroutines, runs a workload for a fixed
+// duration with warmup, and reports committed transactions per second — the
+// measurement protocol behind the paper's Figure 2, generalized so the same
+// scenario runs on every engine from one entry point.
 package harness
 
 import (
@@ -10,21 +11,22 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
-// Workload is a benchmarkable transaction mix.
+// Workload is a benchmarkable transaction mix, written against the
+// backend-neutral engine interface.
 type Workload interface {
 	// Name identifies the workload in reports.
 	Name() string
-	// Init allocates the shared objects for a run with the given worker
+	// Init allocates the shared cells for a run with the given worker
 	// count. It is called once per Run, before any worker starts.
-	Init(rt *core.Runtime, workers int) error
+	Init(eng engine.Engine, workers int) error
 	// Step returns the function executed repeatedly by worker id. Each call
 	// must run exactly one (retried-until-committed) transaction. The
 	// returned closure may keep per-worker state; it is called from a
 	// single goroutine.
-	Step(rt *core.Runtime, th *core.Thread, id int) func() error
+	Step(eng engine.Engine, th engine.Thread, id int) func() error
 }
 
 // Options configure a measurement run.
@@ -40,26 +42,26 @@ type Options struct {
 
 // Result is the outcome of one run.
 type Result struct {
-	// Workload and TimeBase identify the configuration.
-	Workload string
-	TimeBase string
+	// Workload and Engine identify the configuration.
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
 	// Workers is the worker count.
-	Workers int
+	Workers int `json:"workers"`
 	// Elapsed is the measured wall-clock interval.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Txs is the number of transactions committed inside the interval.
-	Txs uint64
+	Txs uint64 `json:"txs"`
 	// Throughput is Txs per second.
-	Throughput float64
+	Throughput float64 `json:"tx_per_s"`
 	// Stats are the engine counters accumulated over the whole run
 	// (including warmup).
-	Stats core.Stats
+	Stats engine.Stats `json:"stats"`
 }
 
 // String renders the result on one line.
 func (r Result) String() string {
 	return fmt.Sprintf("%s/%s workers=%d tx/s=%.0f (aborts/attempt=%.3f)",
-		r.Workload, r.TimeBase, r.Workers, r.Throughput, r.Stats.AbortRate())
+		r.Workload, r.Engine, r.Workers, r.Throughput, r.Stats.AbortRate())
 }
 
 // padCounter is a per-worker committed-transaction counter on its own cache
@@ -70,7 +72,7 @@ type padCounter struct {
 }
 
 // Run executes the workload and measures steady-state throughput.
-func Run(rt *core.Runtime, w Workload, opt Options) (Result, error) {
+func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 	if opt.Workers < 1 {
 		return Result{}, fmt.Errorf("harness: Workers must be ≥ 1, got %d", opt.Workers)
 	}
@@ -81,8 +83,8 @@ func Run(rt *core.Runtime, w Workload, opt Options) (Result, error) {
 	if warmup == 0 {
 		warmup = opt.Duration / 5
 	}
-	if err := w.Init(rt, opt.Workers); err != nil {
-		return Result{}, fmt.Errorf("harness: init %s: %w", w.Name(), err)
+	if err := w.Init(eng, opt.Workers); err != nil {
+		return Result{}, fmt.Errorf("harness: init %s on %s: %w", w.Name(), eng.Name(), err)
 	}
 
 	counters := make([]padCounter, opt.Workers)
@@ -95,8 +97,8 @@ func Run(rt *core.Runtime, w Workload, opt Options) (Result, error) {
 		done.Add(1)
 		go func(id int) {
 			defer done.Done()
-			th := rt.Thread(id)
-			step := w.Step(rt, th, id)
+			th := eng.Thread(id)
+			step := w.Step(eng, th, id)
 			start.Wait()
 			for !stop.Load() {
 				if err := step(); err != nil {
@@ -125,12 +127,12 @@ func Run(rt *core.Runtime, w Workload, opt Options) (Result, error) {
 	txs := after - before
 	return Result{
 		Workload:   w.Name(),
-		TimeBase:   rt.TimeBase().Name(),
+		Engine:     eng.Name(),
 		Workers:    opt.Workers,
 		Elapsed:    elapsed,
 		Txs:        txs,
 		Throughput: float64(txs) / elapsed.Seconds(),
-		Stats:      rt.Stats(),
+		Stats:      eng.Stats(),
 	}, nil
 }
 
@@ -142,23 +144,45 @@ func snapshot(cs []padCounter) uint64 {
 	return total
 }
 
-// Sweep runs the workload at each worker count with a fresh runtime built
-// by mkRuntime, returning one Result per point. This is the Figure 2 inner
-// loop: same workload, growing thread count, fixed time base.
-func Sweep(mkRuntime func() (*core.Runtime, error), w Workload, workerCounts []int, opt Options) ([]Result, error) {
+// Sweep runs the workload at each worker count with a fresh engine built
+// by mkEngine, returning one Result per point. This is the Figure 2 inner
+// loop: same workload, growing thread count, fixed backend.
+func Sweep(mkEngine func() (engine.Engine, error), w Workload, workerCounts []int, opt Options) ([]Result, error) {
 	results := make([]Result, 0, len(workerCounts))
 	for _, n := range workerCounts {
-		rt, err := mkRuntime()
+		eng, err := mkEngine()
 		if err != nil {
 			return nil, err
 		}
 		o := opt
 		o.Workers = n
-		r, err := Run(rt, w, o)
+		r, err := Run(eng, w, o)
 		if err != nil {
 			return nil, err
 		}
 		results = append(results, r)
+	}
+	return results, nil
+}
+
+// RunAcross runs a fresh instance of each workload on each named backend
+// from the engine registry — the cross-engine comparison loop. mkWorkloads
+// builds fresh workload values per engine (workloads keep engine-bound
+// state after Init, so they cannot be shared between runs).
+func RunAcross(engineNames []string, mkWorkloads func() []Workload, engOpt engine.Options, opt Options) ([]Result, error) {
+	var results []Result
+	for _, name := range engineNames {
+		for _, w := range mkWorkloads() {
+			eng, err := engine.New(name, engOpt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := Run(eng, w, opt)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s on %s: %w", w.Name(), name, err)
+			}
+			results = append(results, r)
+		}
 	}
 	return results, nil
 }

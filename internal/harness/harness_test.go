@@ -5,30 +5,29 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/timebase"
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
-func mkCounterRT() (*core.Runtime, error) {
-	return core.NewRuntime(core.Config{TimeBase: timebase.NewSharedCounter()})
+func mkCounterEng() (engine.Engine, error) {
+	return engine.New("lsa/shared", engine.Options{})
 }
 
 func TestRunValidation(t *testing.T) {
-	rt, _ := mkCounterRT()
+	eng, _ := mkCounterEng()
 	w := &workload.Disjoint{Accesses: 2}
-	if _, err := Run(rt, w, Options{Workers: 0, Duration: time.Millisecond}); err == nil {
+	if _, err := Run(eng, w, Options{Workers: 0, Duration: time.Millisecond}); err == nil {
 		t.Error("zero workers must be rejected")
 	}
-	if _, err := Run(rt, w, Options{Workers: 1, Duration: 0}); err == nil {
+	if _, err := Run(eng, w, Options{Workers: 1, Duration: 0}); err == nil {
 		t.Error("zero duration must be rejected")
 	}
 }
 
 func TestRunMeasuresThroughput(t *testing.T) {
-	rt, _ := mkCounterRT()
+	eng, _ := mkCounterEng()
 	w := &workload.Disjoint{Accesses: 4}
-	res, err := Run(rt, w, Options{Workers: 2, Duration: 50 * time.Millisecond, Warmup: 10 * time.Millisecond})
+	res, err := Run(eng, w, Options{Workers: 2, Duration: 50 * time.Millisecond, Warmup: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +37,7 @@ func TestRunMeasuresThroughput(t *testing.T) {
 	if res.Throughput <= 0 {
 		t.Errorf("throughput = %v", res.Throughput)
 	}
-	if res.Workers != 2 || res.Workload != "disjoint/4" || res.TimeBase != "SharedCounter" {
+	if res.Workers != 2 || res.Workload != "disjoint/4" || res.Engine != "lsa/shared" {
 		t.Errorf("metadata wrong: %+v", res)
 	}
 	if res.String() == "" {
@@ -47,9 +46,9 @@ func TestRunMeasuresThroughput(t *testing.T) {
 }
 
 func TestRunPropagatesInitError(t *testing.T) {
-	rt, _ := mkCounterRT()
+	eng, _ := mkCounterEng()
 	w := &workload.Disjoint{Accesses: -1}
-	if _, err := Run(rt, w, Options{Workers: 1, Duration: time.Millisecond}); err == nil {
+	if _, err := Run(eng, w, Options{Workers: 1, Duration: time.Millisecond}); err == nil {
 		t.Error("init error must propagate")
 	}
 }
@@ -57,9 +56,9 @@ func TestRunPropagatesInitError(t *testing.T) {
 // failingWorkload errors on the third step of worker 0.
 type failingWorkload struct{ boom error }
 
-func (f *failingWorkload) Name() string                             { return "failing" }
-func (f *failingWorkload) Init(rt *core.Runtime, workers int) error { return nil }
-func (f *failingWorkload) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+func (f *failingWorkload) Name() string                              { return "failing" }
+func (f *failingWorkload) Init(eng engine.Engine, workers int) error { return nil }
+func (f *failingWorkload) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	n := 0
 	return func() error {
 		if id == 0 {
@@ -72,9 +71,9 @@ func (f *failingWorkload) Step(rt *core.Runtime, th *core.Thread, id int) func()
 }
 
 func TestRunPropagatesStepError(t *testing.T) {
-	rt, _ := mkCounterRT()
+	eng, _ := mkCounterEng()
 	boom := errors.New("boom")
-	_, err := Run(rt, &failingWorkload{boom: boom}, Options{Workers: 2, Duration: 30 * time.Millisecond, Warmup: time.Millisecond})
+	_, err := Run(eng, &failingWorkload{boom: boom}, Options{Workers: 2, Duration: 30 * time.Millisecond, Warmup: time.Millisecond})
 	if !errors.Is(err, boom) {
 		t.Fatalf("got %v, want boom", err)
 	}
@@ -82,7 +81,7 @@ func TestRunPropagatesStepError(t *testing.T) {
 
 func TestSweep(t *testing.T) {
 	w := &workload.Disjoint{Accesses: 2}
-	results, err := Sweep(mkCounterRT, w, []int{1, 2}, Options{Duration: 30 * time.Millisecond, Warmup: 5 * time.Millisecond})
+	results, err := Sweep(mkCounterEng, w, []int{1, 2}, Options{Duration: 30 * time.Millisecond, Warmup: 5 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,5 +90,39 @@ func TestSweep(t *testing.T) {
 	}
 	if results[0].Workers != 1 || results[1].Workers != 2 {
 		t.Errorf("worker counts wrong: %d, %d", results[0].Workers, results[1].Workers)
+	}
+}
+
+func TestRunAcross(t *testing.T) {
+	engines := []string{"lsa/shared", "tl2", "rstmval", "wordstm"}
+	mk := func() []Workload {
+		return []Workload{&workload.Bank{Accounts: 8, Seed: 3}}
+	}
+	results, err := RunAcross(engines, mk, engine.Options{Nodes: 2},
+		Options{Workers: 2, Duration: 20 * time.Millisecond, Warmup: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(engines) {
+		t.Fatalf("results = %d, want %d", len(results), len(engines))
+	}
+	for i, r := range results {
+		if r.Engine != engines[i] {
+			t.Errorf("result %d engine = %q, want %q", i, r.Engine, engines[i])
+		}
+		if r.Txs == 0 {
+			t.Errorf("%s: no transactions", r.Engine)
+		}
+		if r.Stats.Commits == 0 {
+			t.Errorf("%s: no commits counted", r.Engine)
+		}
+	}
+}
+
+func TestRunAcrossUnknownEngine(t *testing.T) {
+	mk := func() []Workload { return []Workload{&workload.Bank{Accounts: 4}} }
+	if _, err := RunAcross([]string{"nope"}, mk, engine.Options{},
+		Options{Workers: 1, Duration: time.Millisecond}); err == nil {
+		t.Error("unknown engine must error")
 	}
 }

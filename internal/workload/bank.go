@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Bank is the classic STM bank: transfer transactions move money between
 // two random accounts; audit transactions read every account and check the
 // conserved total. Audits run read-only, exercising the multi-version
-// snapshot path.
+// snapshot path on engines that have one.
 type Bank struct {
 	// Accounts is the number of accounts (default 64).
 	Accounts int
@@ -22,7 +22,8 @@ type Bank struct {
 	// Seed seeds the per-worker RNGs.
 	Seed int64
 
-	objs []*core.Object
+	eng   engine.Engine
+	cells []engine.Cell
 }
 
 // Name implements harness.Workload.
@@ -50,31 +51,32 @@ func (b *Bank) auditRatio() float64 {
 }
 
 // Init implements harness.Workload.
-func (b *Bank) Init(rt *core.Runtime, workers int) error {
+func (b *Bank) Init(eng engine.Engine, workers int) error {
 	if b.accounts() < 2 {
 		return fmt.Errorf("workload: Bank needs ≥ 2 accounts, got %d", b.accounts())
 	}
-	b.objs = make([]*core.Object, b.accounts())
-	for i := range b.objs {
-		b.objs[i] = core.NewObject(b.initial())
+	b.eng = eng
+	b.cells = make([]engine.Cell, b.accounts())
+	for i := range b.cells {
+		b.cells[i] = eng.NewCell(b.initial())
 	}
 	return nil
 }
 
 // Step implements harness.Workload.
-func (b *Bank) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+func (b *Bank) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(b.Seed + int64(id)*7919 + 1))
 	expect := b.accounts() * b.initial()
 	return func() error {
 		if rng.Float64() < b.auditRatio() {
-			return th.RunReadOnly(func(tx *core.Tx) error {
+			return th.RunReadOnly(func(tx engine.Txn) error {
 				sum := 0
-				for _, o := range b.objs {
-					v, err := tx.Read(o)
+				for _, c := range b.cells {
+					v, err := engine.Get[int](tx, c)
 					if err != nil {
 						return err
 					}
-					sum += v.(int)
+					sum += v
 				}
 				if sum != expect {
 					return fmt.Errorf("bank: audit saw %d, want %d", sum, expect)
@@ -82,41 +84,41 @@ func (b *Bank) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
 				return nil
 			})
 		}
-		from := rng.Intn(len(b.objs))
-		to := rng.Intn(len(b.objs) - 1)
+		from := rng.Intn(len(b.cells))
+		to := rng.Intn(len(b.cells) - 1)
 		if to >= from {
 			to++
 		}
 		amount := 1 + rng.Intn(10)
-		return th.Run(func(tx *core.Tx) error {
-			fv, err := tx.Read(b.objs[from])
+		return th.Run(func(tx engine.Txn) error {
+			fv, err := engine.Get[int](tx, b.cells[from])
 			if err != nil {
 				return err
 			}
-			tv, err := tx.Read(b.objs[to])
+			tv, err := engine.Get[int](tx, b.cells[to])
 			if err != nil {
 				return err
 			}
-			if err := tx.Write(b.objs[from], fv.(int)-amount); err != nil {
+			if err := tx.Write(b.cells[from], fv-amount); err != nil {
 				return err
 			}
-			return tx.Write(b.objs[to], tv.(int)+amount)
+			return tx.Write(b.cells[to], tv+amount)
 		})
 	}
 }
 
 // Total sums all balances in a read-only transaction.
-func (b *Bank) Total(rt *core.Runtime) (int, error) {
-	th := rt.Thread(1 << 20)
+func (b *Bank) Total() (int, error) {
+	th := b.eng.Thread(1 << 20)
 	total := 0
-	err := th.RunReadOnly(func(tx *core.Tx) error {
+	err := th.RunReadOnly(func(tx engine.Txn) error {
 		total = 0
-		for _, o := range b.objs {
-			v, err := tx.Read(o)
+		for _, c := range b.cells {
+			v, err := engine.Get[int](tx, c)
 			if err != nil {
 				return err
 			}
-			total += v.(int)
+			total += v
 		}
 		return nil
 	})

@@ -1,12 +1,15 @@
-// Package workload provides the transaction mixes used by the experiments:
-// the paper's disjoint-update microbenchmark (§4.2), a bank with transfers
-// and audits, and a sorted-linked-list integer set.
+// Package workload provides the transaction mixes used by the experiments
+// and benchmarks: the paper's disjoint-update microbenchmark (§4.2), a bank
+// with transfers and audits, a sorted-linked-list integer set, a chained
+// hash set, a bounded queue, and a read-mostly table. Every workload is
+// written against the backend-neutral engine interface, so the same mix
+// runs unchanged on any registered STM backend.
 package workload
 
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Disjoint is the §4.2 workload: every transaction updates k objects that
@@ -23,14 +26,15 @@ type Disjoint struct {
 	// different objects).
 	ObjectsPerWorker int
 
-	objs [][]*core.Object
+	eng   engine.Engine
+	cells [][]engine.Cell
 }
 
 // Name implements harness.Workload.
 func (d *Disjoint) Name() string { return fmt.Sprintf("disjoint/%d", d.Accesses) }
 
 // Init implements harness.Workload.
-func (d *Disjoint) Init(rt *core.Runtime, workers int) error {
+func (d *Disjoint) Init(eng engine.Engine, workers int) error {
 	if d.Accesses <= 0 {
 		return fmt.Errorf("workload: Disjoint.Accesses must be positive, got %d", d.Accesses)
 	}
@@ -41,11 +45,12 @@ func (d *Disjoint) Init(rt *core.Runtime, workers int) error {
 	if per < d.Accesses {
 		return fmt.Errorf("workload: partition %d smaller than %d accesses", per, d.Accesses)
 	}
-	d.objs = make([][]*core.Object, workers)
-	for w := range d.objs {
-		d.objs[w] = make([]*core.Object, per)
-		for i := range d.objs[w] {
-			d.objs[w][i] = core.NewObject(0)
+	d.eng = eng
+	d.cells = make([][]engine.Cell, workers)
+	for w := range d.cells {
+		d.cells[w] = make([]engine.Cell, per)
+		for i := range d.cells[w] {
+			d.cells[w][i] = eng.NewCell(0)
 		}
 	}
 	return nil
@@ -53,20 +58,20 @@ func (d *Disjoint) Init(rt *core.Runtime, workers int) error {
 
 // Step implements harness.Workload: one transaction incrementing k objects
 // of the worker's partition, rotating the starting offset.
-func (d *Disjoint) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
-	part := d.objs[id]
+func (d *Disjoint) Step(eng engine.Engine, th engine.Thread, id int) func() error {
+	part := d.cells[id]
 	offset := 0
 	return func() error {
 		start := offset
 		offset = (offset + d.Accesses) % len(part)
-		return th.Run(func(tx *core.Tx) error {
+		return th.Run(func(tx engine.Txn) error {
 			for i := 0; i < d.Accesses; i++ {
-				o := part[(start+i)%len(part)]
-				v, err := tx.Read(o)
+				c := part[(start+i)%len(part)]
+				v, err := engine.Get[int](tx, c)
 				if err != nil {
 					return err
 				}
-				if err := tx.Write(o, v.(int)+1); err != nil {
+				if err := tx.Write(c, v+1); err != nil {
 					return err
 				}
 			}
@@ -76,18 +81,18 @@ func (d *Disjoint) Step(rt *core.Runtime, th *core.Thread, id int) func() error 
 }
 
 // Total sums all object values — used by tests to check no update was lost.
-func (d *Disjoint) Total(rt *core.Runtime) (int, error) {
-	th := rt.Thread(1 << 20)
+func (d *Disjoint) Total() (int, error) {
+	th := d.eng.Thread(1 << 20)
 	total := 0
-	err := th.RunReadOnly(func(tx *core.Tx) error {
+	err := th.RunReadOnly(func(tx engine.Txn) error {
 		total = 0
-		for _, part := range d.objs {
-			for _, o := range part {
-				v, err := tx.Read(o)
+		for _, part := range d.cells {
+			for _, c := range part {
+				v, err := engine.Get[int](tx, c)
 				if err != nil {
 					return err
 				}
-				total += v.(int)
+				total += v
 			}
 		}
 		return nil

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
-// HashSet is a fixed-bucket chained hash set over transactional objects:
+// HashSet is a fixed-bucket chained hash set over transactional cells:
 // each bucket holds an immutable sorted slice of keys, replaced wholesale
 // on update. Transactions are short (one bucket for point operations),
 // giving a low-conflict, high-commit-rate workload between the disjoint
@@ -25,7 +25,8 @@ type HashSet struct {
 	// Seed seeds the per-worker RNGs.
 	Seed int64
 
-	buckets []*core.Object
+	eng     engine.Engine
+	buckets []engine.Cell
 }
 
 // Name implements harness.Workload.
@@ -60,45 +61,45 @@ func (h *HashSet) sizeRatio() float64 {
 }
 
 // Init implements harness.Workload.
-func (h *HashSet) Init(rt *core.Runtime, workers int) error {
+func (h *HashSet) Init(eng engine.Engine, workers int) error {
 	if h.bucketCount() < 1 {
 		return fmt.Errorf("workload: HashSet.Buckets must be ≥ 1, got %d", h.Buckets)
 	}
-	h.buckets = make([]*core.Object, h.bucketCount())
+	h.eng = eng
+	h.buckets = make([]engine.Cell, h.bucketCount())
 	for i := range h.buckets {
-		h.buckets[i] = core.NewObject([]int(nil))
+		h.buckets[i] = eng.NewCell([]int(nil))
 	}
 	return nil
 }
 
-func (h *HashSet) bucketFor(key int) *core.Object {
+func (h *HashSet) bucketFor(key int) engine.Cell {
 	return h.buckets[uint(key*2654435761)%uint(len(h.buckets))]
 }
 
 // Contains reports membership via a read-only transaction.
-func (h *HashSet) Contains(th *core.Thread, key int) (bool, error) {
+func (h *HashSet) Contains(th engine.Thread, key int) (bool, error) {
 	var found bool
-	err := th.RunReadOnly(func(tx *core.Tx) error {
-		v, err := tx.Read(h.bucketFor(key))
+	err := th.RunReadOnly(func(tx engine.Txn) error {
+		keys, err := engine.Get[[]int](tx, h.bucketFor(key))
 		if err != nil {
 			return err
 		}
-		found = containsKey(v.([]int), key)
+		found = containsKey(keys, key)
 		return nil
 	})
 	return found, err
 }
 
 // Add inserts key, reporting whether the set changed.
-func (h *HashSet) Add(th *core.Thread, key int) (bool, error) {
+func (h *HashSet) Add(th engine.Thread, key int) (bool, error) {
 	var added bool
-	err := th.Run(func(tx *core.Tx) error {
+	err := th.Run(func(tx engine.Txn) error {
 		b := h.bucketFor(key)
-		v, err := tx.Read(b)
+		keys, err := engine.Get[[]int](tx, b)
 		if err != nil {
 			return err
 		}
-		keys := v.([]int)
 		if containsKey(keys, key) {
 			added = false
 			return nil
@@ -119,15 +120,14 @@ func (h *HashSet) Add(th *core.Thread, key int) (bool, error) {
 }
 
 // Remove deletes key, reporting whether the set changed.
-func (h *HashSet) Remove(th *core.Thread, key int) (bool, error) {
+func (h *HashSet) Remove(th engine.Thread, key int) (bool, error) {
 	var removed bool
-	err := th.Run(func(tx *core.Tx) error {
+	err := th.Run(func(tx engine.Txn) error {
 		b := h.bucketFor(key)
-		v, err := tx.Read(b)
+		keys, err := engine.Get[[]int](tx, b)
 		if err != nil {
 			return err
 		}
-		keys := v.([]int)
 		if !containsKey(keys, key) {
 			removed = false
 			return nil
@@ -145,16 +145,16 @@ func (h *HashSet) Remove(th *core.Thread, key int) (bool, error) {
 }
 
 // Size counts all elements in one consistent read-only snapshot.
-func (h *HashSet) Size(th *core.Thread) (int, error) {
+func (h *HashSet) Size(th engine.Thread) (int, error) {
 	var n int
-	err := th.RunReadOnly(func(tx *core.Tx) error {
+	err := th.RunReadOnly(func(tx engine.Txn) error {
 		n = 0
 		for _, b := range h.buckets {
-			v, err := tx.Read(b)
+			keys, err := engine.Get[[]int](tx, b)
 			if err != nil {
 				return err
 			}
-			n += len(v.([]int))
+			n += len(keys)
 		}
 		return nil
 	})
@@ -162,7 +162,7 @@ func (h *HashSet) Size(th *core.Thread) (int, error) {
 }
 
 // Step implements harness.Workload.
-func (h *HashSet) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+func (h *HashSet) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(h.Seed + int64(id)*31337 + 5))
 	return func() error {
 		p := rng.Float64()

@@ -6,12 +6,12 @@ import (
 )
 
 func TestHashSetSequentialSemantics(t *testing.T) {
-	rt := newRT(t)
+	eng := newEng(t)
 	h := &HashSet{Buckets: 8, KeyRange: 100, Seed: 3}
-	if err := h.Init(rt, 1); err != nil {
+	if err := h.Init(eng, 1); err != nil {
 		t.Fatal(err)
 	}
-	th := rt.Thread(0)
+	th := eng.Thread(0)
 	model := map[int]bool{}
 	ops := []struct {
 		op  string
@@ -64,10 +64,10 @@ func TestHashSetConcurrentSizeConsistent(t *testing.T) {
 	// Paired add/remove keep the size parity meaningful: every worker adds
 	// a key then removes it, so a consistent Size snapshot varies but the
 	// final size is exactly the set of keys never removed.
-	rt := newClockRT(t)
+	eng := newClockEng(t)
 	h := &HashSet{Buckets: 16, KeyRange: 512, Seed: 7}
 	const workers, per = 4, 150
-	if err := h.Init(rt, workers); err != nil {
+	if err := h.Init(eng, workers); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -75,7 +75,7 @@ func TestHashSetConcurrentSizeConsistent(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
+			th := eng.Thread(id)
 			for i := 0; i < per; i++ {
 				key := id*1000 + i // disjoint key spaces
 				if _, err := h.Add(th, key); err != nil {
@@ -98,7 +98,7 @@ func TestHashSetConcurrentSizeConsistent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	size, err := h.Size(rt.Thread(99))
+	size, err := h.Size(eng.Thread(99))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,9 +109,9 @@ func TestHashSetConcurrentSizeConsistent(t *testing.T) {
 }
 
 func TestHashSetAsHarnessWorkload(t *testing.T) {
-	rt := newRT(t)
+	eng := newEng(t)
 	h := &HashSet{Buckets: 8, KeyRange: 64, UpdateRatio: 0.5, SizeRatio: 0.1, Seed: 9}
-	if err := h.Init(rt, 2); err != nil {
+	if err := h.Init(eng, 2); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -119,8 +119,8 @@ func TestHashSetAsHarnessWorkload(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
-			step := h.Step(rt, th, id)
+			th := eng.Thread(id)
+			step := h.Step(eng, th, id)
 			for i := 0; i < 300; i++ {
 				if err := step(); err != nil {
 					t.Errorf("worker %d: %v", id, err)

@@ -5,14 +5,14 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // listNode is one element of the transactional sorted linked list. The node
-// value stored in an object is immutable; updates replace the node.
+// value stored in a cell is immutable; updates replace the node.
 type listNode struct {
 	key  int
-	next *core.Object // nil at the tail sentinel
+	next engine.Cell // nil at the tail sentinel
 }
 
 // IntSet is a sorted-linked-list integer set — the standard STM
@@ -32,7 +32,8 @@ type IntSet struct {
 	// Seed seeds the per-worker RNGs.
 	Seed int64
 
-	head *core.Object
+	eng  engine.Engine
+	head engine.Cell
 }
 
 // Name implements harness.Workload.
@@ -60,13 +61,14 @@ func (s *IntSet) initialFill() float64 {
 }
 
 // Init implements harness.Workload: build head/tail sentinels and pre-fill.
-func (s *IntSet) Init(rt *core.Runtime, workers int) error {
+func (s *IntSet) Init(eng engine.Engine, workers int) error {
 	if s.keyRange() < 1 {
 		return fmt.Errorf("workload: IntSet.KeyRange must be ≥ 1, got %d", s.KeyRange)
 	}
-	tail := core.NewObject(listNode{key: math.MaxInt})
-	s.head = core.NewObject(listNode{key: math.MinInt, next: tail})
-	th := rt.Thread(1 << 19)
+	s.eng = eng
+	tail := eng.NewCell(listNode{key: math.MaxInt})
+	s.head = eng.NewCell(listNode{key: math.MinInt, next: tail})
+	th := eng.Thread(1 << 19)
 	rng := rand.New(rand.NewSource(s.Seed + 99))
 	for k := 0; k < s.keyRange(); k++ {
 		if rng.Float64() >= s.initialFill() {
@@ -80,7 +82,7 @@ func (s *IntSet) Init(rt *core.Runtime, workers int) error {
 }
 
 // Step implements harness.Workload.
-func (s *IntSet) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+func (s *IntSet) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(s.Seed + int64(id)*104729 + 3))
 	return func() error {
 		key := rng.Intn(s.keyRange())
@@ -99,33 +101,31 @@ func (s *IntSet) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
 	}
 }
 
-// find walks the list inside tx and returns the predecessor object, its
+// find walks the list inside tx and returns the predecessor cell, its
 // node, and the node at or after key.
-func (s *IntSet) find(tx *core.Tx, key int) (predObj *core.Object, pred listNode, cur listNode, err error) {
-	predObj = s.head
-	v, err := tx.Read(predObj)
+func (s *IntSet) find(tx engine.Txn, key int) (predCell engine.Cell, pred listNode, cur listNode, err error) {
+	predCell = s.head
+	pred, err = engine.Get[listNode](tx, predCell)
 	if err != nil {
 		return nil, listNode{}, listNode{}, err
 	}
-	pred = v.(listNode)
 	for {
-		curObj := pred.next
-		v, err = tx.Read(curObj)
+		curCell := pred.next
+		cur, err = engine.Get[listNode](tx, curCell)
 		if err != nil {
 			return nil, listNode{}, listNode{}, err
 		}
-		cur = v.(listNode)
 		if cur.key >= key {
-			return predObj, pred, cur, nil
+			return predCell, pred, cur, nil
 		}
-		predObj, pred = curObj, cur
+		predCell, pred = curCell, cur
 	}
 }
 
 // Contains reports whether key is in the set (read-only transaction).
-func (s *IntSet) Contains(th *core.Thread, key int) (bool, error) {
+func (s *IntSet) Contains(th engine.Thread, key int) (bool, error) {
 	var found bool
-	err := th.RunReadOnly(func(tx *core.Tx) error {
+	err := th.RunReadOnly(func(tx engine.Txn) error {
 		_, _, cur, err := s.find(tx, key)
 		if err != nil {
 			return err
@@ -137,10 +137,10 @@ func (s *IntSet) Contains(th *core.Thread, key int) (bool, error) {
 }
 
 // Add inserts key; it reports whether the set changed.
-func (s *IntSet) Add(th *core.Thread, key int) (bool, error) {
+func (s *IntSet) Add(th engine.Thread, key int) (bool, error) {
 	var added bool
-	err := th.Run(func(tx *core.Tx) error {
-		predObj, pred, cur, err := s.find(tx, key)
+	err := th.Run(func(tx engine.Txn) error {
+		predCell, pred, cur, err := s.find(tx, key)
 		if err != nil {
 			return err
 		}
@@ -148,8 +148,8 @@ func (s *IntSet) Add(th *core.Thread, key int) (bool, error) {
 			added = false
 			return nil
 		}
-		node := core.NewObject(listNode{key: key, next: pred.next})
-		if err := tx.Write(predObj, listNode{key: pred.key, next: node}); err != nil {
+		node := s.eng.NewCell(listNode{key: key, next: pred.next})
+		if err := tx.Write(predCell, listNode{key: pred.key, next: node}); err != nil {
 			return err
 		}
 		added = true
@@ -159,10 +159,10 @@ func (s *IntSet) Add(th *core.Thread, key int) (bool, error) {
 }
 
 // Remove deletes key; it reports whether the set changed.
-func (s *IntSet) Remove(th *core.Thread, key int) (bool, error) {
+func (s *IntSet) Remove(th engine.Thread, key int) (bool, error) {
 	var removed bool
-	err := th.Run(func(tx *core.Tx) error {
-		predObj, pred, cur, err := s.find(tx, key)
+	err := th.Run(func(tx engine.Txn) error {
+		predCell, pred, cur, err := s.find(tx, key)
 		if err != nil {
 			return err
 		}
@@ -171,12 +171,11 @@ func (s *IntSet) Remove(th *core.Thread, key int) (bool, error) {
 			return nil
 		}
 		// Read the victim to get its successor, then splice it out.
-		v, err := tx.Read(pred.next)
+		victim, err := engine.Get[listNode](tx, pred.next)
 		if err != nil {
 			return err
 		}
-		victim := v.(listNode)
-		if err := tx.Write(predObj, listNode{key: pred.key, next: victim.next}); err != nil {
+		if err := tx.Write(predCell, listNode{key: pred.key, next: victim.next}); err != nil {
 			return err
 		}
 		removed = true
@@ -187,21 +186,19 @@ func (s *IntSet) Remove(th *core.Thread, key int) (bool, error) {
 
 // Snapshot returns the keys currently in the set, in order, via a read-only
 // transaction.
-func (s *IntSet) Snapshot(th *core.Thread) ([]int, error) {
+func (s *IntSet) Snapshot(th engine.Thread) ([]int, error) {
 	var keys []int
-	err := th.RunReadOnly(func(tx *core.Tx) error {
+	err := th.RunReadOnly(func(tx engine.Txn) error {
 		keys = keys[:0]
-		v, err := tx.Read(s.head)
+		node, err := engine.Get[listNode](tx, s.head)
 		if err != nil {
 			return err
 		}
-		node := v.(listNode)
 		for node.next != nil {
-			v, err = tx.Read(node.next)
+			node, err = engine.Get[listNode](tx, node.next)
 			if err != nil {
 				return err
 			}
-			node = v.(listNode)
 			if node.next != nil { // skip the tail sentinel
 				keys = append(keys, node.key)
 			}

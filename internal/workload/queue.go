@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Queue is a transactional bounded FIFO ring buffer: producers and
@@ -17,9 +17,9 @@ type Queue struct {
 	// Seed seeds the per-worker RNGs.
 	Seed int64
 
-	head  *core.Object // index of the next element to pop
-	tail  *core.Object // index of the next free slot
-	slots []*core.Object
+	head  engine.Cell // index of the next element to pop
+	tail  engine.Cell // index of the next free slot
+	slots []engine.Cell
 }
 
 // Name implements harness.Workload.
@@ -33,39 +33,39 @@ func (q *Queue) capacity() int {
 }
 
 // Init implements harness.Workload.
-func (q *Queue) Init(rt *core.Runtime, workers int) error {
+func (q *Queue) Init(eng engine.Engine, workers int) error {
 	if q.capacity() < 1 {
 		return fmt.Errorf("workload: Queue.Capacity must be ≥ 1, got %d", q.Capacity)
 	}
-	q.head = core.NewObject(0)
-	q.tail = core.NewObject(0)
-	q.slots = make([]*core.Object, q.capacity())
+	q.head = eng.NewCell(0)
+	q.tail = eng.NewCell(0)
+	q.slots = make([]engine.Cell, q.capacity())
 	for i := range q.slots {
-		q.slots[i] = core.NewObject(0)
+		q.slots[i] = eng.NewCell(0)
 	}
 	return nil
 }
 
 // Push appends v; it reports false if the queue was full.
-func (q *Queue) Push(th *core.Thread, v int) (bool, error) {
+func (q *Queue) Push(th engine.Thread, v int) (bool, error) {
 	var ok bool
-	err := th.Run(func(tx *core.Tx) error {
-		hv, err := tx.Read(q.head)
+	err := th.Run(func(tx engine.Txn) error {
+		hv, err := engine.Get[int](tx, q.head)
 		if err != nil {
 			return err
 		}
-		tv, err := tx.Read(q.tail)
+		tv, err := engine.Get[int](tx, q.tail)
 		if err != nil {
 			return err
 		}
-		if tv.(int)-hv.(int) >= q.capacity() {
+		if tv-hv >= q.capacity() {
 			ok = false
 			return nil
 		}
-		if err := tx.Write(q.slots[tv.(int)%q.capacity()], v); err != nil {
+		if err := tx.Write(q.slots[tv%q.capacity()], v); err != nil {
 			return err
 		}
-		if err := tx.Write(q.tail, tv.(int)+1); err != nil {
+		if err := tx.Write(q.tail, tv+1); err != nil {
 			return err
 		}
 		ok = true
@@ -75,48 +75,48 @@ func (q *Queue) Push(th *core.Thread, v int) (bool, error) {
 }
 
 // Pop removes the oldest element; it reports false if the queue was empty.
-func (q *Queue) Pop(th *core.Thread) (int, bool, error) {
+func (q *Queue) Pop(th engine.Thread) (int, bool, error) {
 	var out int
 	var ok bool
-	err := th.Run(func(tx *core.Tx) error {
-		hv, err := tx.Read(q.head)
+	err := th.Run(func(tx engine.Txn) error {
+		hv, err := engine.Get[int](tx, q.head)
 		if err != nil {
 			return err
 		}
-		tv, err := tx.Read(q.tail)
+		tv, err := engine.Get[int](tx, q.tail)
 		if err != nil {
 			return err
 		}
-		if hv.(int) == tv.(int) {
+		if hv == tv {
 			ok = false
 			return nil
 		}
-		sv, err := tx.Read(q.slots[hv.(int)%q.capacity()])
+		sv, err := engine.Get[int](tx, q.slots[hv%q.capacity()])
 		if err != nil {
 			return err
 		}
-		if err := tx.Write(q.head, hv.(int)+1); err != nil {
+		if err := tx.Write(q.head, hv+1); err != nil {
 			return err
 		}
-		out, ok = sv.(int), true
+		out, ok = sv, true
 		return nil
 	})
 	return out, ok, err
 }
 
 // Len returns the current number of queued elements.
-func (q *Queue) Len(th *core.Thread) (int, error) {
+func (q *Queue) Len(th engine.Thread) (int, error) {
 	var n int
-	err := th.RunReadOnly(func(tx *core.Tx) error {
-		hv, err := tx.Read(q.head)
+	err := th.RunReadOnly(func(tx engine.Txn) error {
+		hv, err := engine.Get[int](tx, q.head)
 		if err != nil {
 			return err
 		}
-		tv, err := tx.Read(q.tail)
+		tv, err := engine.Get[int](tx, q.tail)
 		if err != nil {
 			return err
 		}
-		n = tv.(int) - hv.(int)
+		n = tv - hv
 		return nil
 	})
 	return n, err
@@ -124,7 +124,7 @@ func (q *Queue) Len(th *core.Thread) (int, error) {
 
 // Step implements harness.Workload: even workers produce, odd workers
 // consume.
-func (q *Queue) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+func (q *Queue) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(q.Seed + int64(id)*131 + 7))
 	return func() error {
 		if id%2 == 0 {
@@ -136,7 +136,7 @@ func (q *Queue) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
 	}
 }
 
-// ReadMostly is an array of objects scanned by everyone and occasionally
+// ReadMostly is an array of cells scanned by everyone and occasionally
 // updated: the workload where invisible reads and cheap per-access
 // consistency pay off most.
 type ReadMostly struct {
@@ -149,7 +149,7 @@ type ReadMostly struct {
 	// Seed seeds the per-worker RNGs.
 	Seed int64
 
-	objs []*core.Object
+	cells []engine.Cell
 }
 
 // Name implements harness.Workload.
@@ -177,35 +177,31 @@ func (r *ReadMostly) scanLen() int {
 }
 
 // Init implements harness.Workload.
-func (r *ReadMostly) Init(rt *core.Runtime, workers int) error {
+func (r *ReadMostly) Init(eng engine.Engine, workers int) error {
 	if r.scanLen() > r.objects() {
 		return fmt.Errorf("workload: scan %d exceeds table %d", r.scanLen(), r.objects())
 	}
-	r.objs = make([]*core.Object, r.objects())
-	for i := range r.objs {
-		r.objs[i] = core.NewObject(0)
+	r.cells = make([]engine.Cell, r.objects())
+	for i := range r.cells {
+		r.cells[i] = eng.NewCell(0)
 	}
 	return nil
 }
 
 // Step implements harness.Workload.
-func (r *ReadMostly) Step(rt *core.Runtime, th *core.Thread, id int) func() error {
+func (r *ReadMostly) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(r.Seed + int64(id)*977 + 13))
 	return func() error {
 		if rng.Float64() < r.writeRatio() {
-			o := r.objs[rng.Intn(len(r.objs))]
-			return th.Run(func(tx *core.Tx) error {
-				v, err := tx.Read(o)
-				if err != nil {
-					return err
-				}
-				return tx.Write(o, v.(int)+1)
+			c := r.cells[rng.Intn(len(r.cells))]
+			return th.Run(func(tx engine.Txn) error {
+				return engine.Update(tx, c, func(v int) int { return v + 1 })
 			})
 		}
-		start := rng.Intn(len(r.objs))
-		return th.RunReadOnly(func(tx *core.Tx) error {
+		start := rng.Intn(len(r.cells))
+		return th.RunReadOnly(func(tx engine.Txn) error {
 			for i := 0; i < r.scanLen(); i++ {
-				if _, err := tx.Read(r.objs[(start+i)%len(r.objs)]); err != nil {
+				if _, err := tx.Read(r.cells[(start+i)%len(r.cells)]); err != nil {
 					return err
 				}
 			}

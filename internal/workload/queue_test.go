@@ -6,12 +6,12 @@ import (
 )
 
 func TestQueueSequentialFIFO(t *testing.T) {
-	rt := newRT(t)
+	eng := newEng(t)
 	q := &Queue{Capacity: 4}
-	if err := q.Init(rt, 1); err != nil {
+	if err := q.Init(eng, 1); err != nil {
 		t.Fatal(err)
 	}
-	th := rt.Thread(0)
+	th := eng.Thread(0)
 
 	if _, ok, err := q.Pop(th); err != nil || ok {
 		t.Fatalf("pop on empty = (%v, %v), want miss", ok, err)
@@ -40,12 +40,12 @@ func TestQueueSequentialFIFO(t *testing.T) {
 }
 
 func TestQueueWrapsAround(t *testing.T) {
-	rt := newRT(t)
+	eng := newEng(t)
 	q := &Queue{Capacity: 3}
-	if err := q.Init(rt, 1); err != nil {
+	if err := q.Init(eng, 1); err != nil {
 		t.Fatal(err)
 	}
-	th := rt.Thread(0)
+	th := eng.Thread(0)
 	for round := 0; round < 10; round++ {
 		if ok, err := q.Push(th, round); err != nil || !ok {
 			t.Fatalf("round %d push: (%v, %v)", round, ok, err)
@@ -58,10 +58,10 @@ func TestQueueWrapsAround(t *testing.T) {
 }
 
 func TestQueueConcurrentConservation(t *testing.T) {
-	rt := newClockRT(t)
+	eng := newClockEng(t)
 	q := &Queue{Capacity: 16}
 	const producers, consumers, per = 2, 2, 300
-	if err := q.Init(rt, producers+consumers); err != nil {
+	if err := q.Init(eng, producers+consumers); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -71,7 +71,7 @@ func TestQueueConcurrentConservation(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
+			th := eng.Thread(id)
 			n := 0
 			for i := 0; i < per; i++ {
 				ok, err := q.Push(th, id*1000+i)
@@ -92,7 +92,7 @@ func TestQueueConcurrentConservation(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(producers + id)
+			th := eng.Thread(producers + id)
 			n := 0
 			for i := 0; i < per; i++ {
 				_, ok, err := q.Pop(th)
@@ -110,7 +110,7 @@ func TestQueueConcurrentConservation(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
-	remaining, err := q.Len(rt.Thread(99))
+	remaining, err := q.Len(eng.Thread(99))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,9 +123,9 @@ func TestQueueConcurrentConservation(t *testing.T) {
 }
 
 func TestQueueAsHarnessWorkload(t *testing.T) {
-	rt := newRT(t)
+	eng := newEng(t)
 	q := &Queue{Capacity: 8}
-	if err := q.Init(rt, 2); err != nil {
+	if err := q.Init(eng, 2); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -133,8 +133,8 @@ func TestQueueAsHarnessWorkload(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
-			step := q.Step(rt, th, id)
+			th := eng.Thread(id)
+			step := q.Step(eng, th, id)
 			for i := 0; i < 200; i++ {
 				if err := step(); err != nil {
 					t.Errorf("worker %d: %v", id, err)
@@ -148,15 +148,15 @@ func TestQueueAsHarnessWorkload(t *testing.T) {
 
 func TestReadMostlyValidation(t *testing.T) {
 	r := &ReadMostly{Objects: 8, ScanLen: 100}
-	if err := r.Init(newRT(t), 1); err == nil {
+	if err := r.Init(newEng(t), 1); err == nil {
 		t.Error("scan longer than table must be rejected")
 	}
 }
 
 func TestReadMostlyRuns(t *testing.T) {
-	rt := newClockRT(t)
+	eng := newClockEng(t)
 	r := &ReadMostly{Objects: 32, ScanLen: 8, WriteRatio: 0.3, Seed: 5}
-	if err := r.Init(rt, 3); err != nil {
+	if err := r.Init(eng, 3); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -164,8 +164,8 @@ func TestReadMostlyRuns(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
-			step := r.Step(rt, th, id)
+			th := eng.Thread(id)
+			step := r.Step(eng, th, id)
 			for i := 0; i < 200; i++ {
 				if err := step(); err != nil {
 					t.Errorf("worker %d: %v", id, err)
@@ -175,7 +175,7 @@ func TestReadMostlyRuns(t *testing.T) {
 		}(id)
 	}
 	wg.Wait()
-	if s := rt.Stats(); s.Commits == 0 {
+	if s := eng.Stats(); s.Commits == 0 {
 		t.Error("no commits recorded")
 	}
 }

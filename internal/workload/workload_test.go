@@ -5,40 +5,36 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/hwclock"
-	"repro/internal/timebase"
+	"repro/internal/engine"
 )
 
-func newRT(t *testing.T) *core.Runtime {
+func newEng(t *testing.T) engine.Engine {
 	t.Helper()
-	return core.MustRuntime(core.Config{TimeBase: timebase.NewSharedCounter()})
+	return engine.MustNew("lsa/shared", engine.Options{})
 }
 
-func newClockRT(t *testing.T) *core.Runtime {
+func newClockEng(t *testing.T) engine.Engine {
 	t.Helper()
-	return core.MustRuntime(core.Config{
-		TimeBase: timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(8))),
-	})
+	return engine.MustNew("lsa/ideal", engine.Options{Nodes: 8})
 }
 
 func TestDisjointValidation(t *testing.T) {
 	d := &Disjoint{Accesses: 0}
-	if err := d.Init(newRT(t), 1); err == nil {
+	if err := d.Init(newEng(t), 1); err == nil {
 		t.Error("zero accesses must be rejected")
 	}
 	d = &Disjoint{Accesses: 10, ObjectsPerWorker: 5}
-	if err := d.Init(newRT(t), 1); err == nil {
+	if err := d.Init(newEng(t), 1); err == nil {
 		t.Error("partition smaller than accesses must be rejected")
 	}
 }
 
 func TestDisjointCountsUpdates(t *testing.T) {
-	for _, mk := range []func(*testing.T) *core.Runtime{newRT, newClockRT} {
-		rt := mk(t)
+	for _, mk := range []func(*testing.T) engine.Engine{newEng, newClockEng} {
+		eng := mk(t)
 		d := &Disjoint{Accesses: 10}
 		const workers, steps = 4, 25
-		if err := d.Init(rt, workers); err != nil {
+		if err := d.Init(eng, workers); err != nil {
 			t.Fatal(err)
 		}
 		var wg sync.WaitGroup
@@ -46,8 +42,8 @@ func TestDisjointCountsUpdates(t *testing.T) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				th := rt.Thread(id)
-				step := d.Step(rt, th, id)
+				th := eng.Thread(id)
+				step := d.Step(eng, th, id)
 				for i := 0; i < steps; i++ {
 					if err := step(); err != nil {
 						t.Errorf("worker %d: %v", id, err)
@@ -57,24 +53,24 @@ func TestDisjointCountsUpdates(t *testing.T) {
 			}(w)
 		}
 		wg.Wait()
-		total, err := d.Total(rt)
+		total, err := d.Total()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if want := workers * steps * 10; total != want {
 			t.Errorf("total increments = %d, want %d", total, want)
 		}
-		if s := rt.Stats(); s.AbortConflict != 0 || s.EnemyAborts != 0 {
+		if s := eng.Stats(); s.AbortConflict != 0 || s.EnemyAborts != 0 {
 			t.Errorf("disjoint workload must see no conflicts: %s", s)
 		}
 	}
 }
 
 func TestBankConservesMoney(t *testing.T) {
-	rt := newRT(t)
+	eng := newEng(t)
 	b := &Bank{Accounts: 10, Initial: 500, AuditRatio: 0.3, Seed: 5}
 	const workers, steps = 4, 100
-	if err := b.Init(rt, workers); err != nil {
+	if err := b.Init(eng, workers); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -82,8 +78,8 @@ func TestBankConservesMoney(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := rt.Thread(id)
-			step := b.Step(rt, th, id)
+			th := eng.Thread(id)
+			step := b.Step(eng, th, id)
 			for i := 0; i < steps; i++ {
 				if err := step(); err != nil {
 					t.Errorf("worker %d: %v", id, err)
@@ -93,7 +89,7 @@ func TestBankConservesMoney(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	total, err := b.Total(rt)
+	total, err := b.Total()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,19 +100,19 @@ func TestBankConservesMoney(t *testing.T) {
 
 func TestBankValidation(t *testing.T) {
 	b := &Bank{Accounts: 1}
-	if err := b.Init(newRT(t), 1); err == nil {
+	if err := b.Init(newEng(t), 1); err == nil {
 		t.Error("single-account bank must be rejected")
 	}
 }
 
 func TestIntSetSequentialSemantics(t *testing.T) {
-	rt := newRT(t)
-	s := &IntSet{KeyRange: 64, InitialFill: -1} // -1 → rng.Float64() >= -1 never true → empty... use explicit small fill
+	eng := newEng(t)
+	s := &IntSet{KeyRange: 64, InitialFill: -1}
 	// InitialFill < 0 disables pre-fill entirely (Float64 ≥ 0 > fill).
-	if err := s.Init(rt, 1); err != nil {
+	if err := s.Init(eng, 1); err != nil {
 		t.Fatal(err)
 	}
-	th := rt.Thread(0)
+	th := eng.Thread(0)
 	model := map[int]bool{}
 	ops := []struct {
 		op  string
@@ -169,11 +165,11 @@ func TestIntSetSequentialSemantics(t *testing.T) {
 }
 
 func TestIntSetConcurrent(t *testing.T) {
-	for _, mk := range []func(*testing.T) *core.Runtime{newRT, newClockRT} {
-		rt := mk(t)
+	for _, mk := range []func(*testing.T) engine.Engine{newEng, newClockEng} {
+		eng := mk(t)
 		s := &IntSet{KeyRange: 32, UpdateRatio: 0.6, Seed: 11}
 		const workers, steps = 4, 150
-		if err := s.Init(rt, workers); err != nil {
+		if err := s.Init(eng, workers); err != nil {
 			t.Fatal(err)
 		}
 		var wg sync.WaitGroup
@@ -181,8 +177,8 @@ func TestIntSetConcurrent(t *testing.T) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				th := rt.Thread(id)
-				step := s.Step(rt, th, id)
+				th := eng.Thread(id)
+				step := s.Step(eng, th, id)
 				for i := 0; i < steps; i++ {
 					if err := step(); err != nil {
 						t.Errorf("worker %d: %v", id, err)
@@ -192,7 +188,7 @@ func TestIntSetConcurrent(t *testing.T) {
 			}(w)
 		}
 		wg.Wait()
-		keys, err := s.Snapshot(rt.Thread(50))
+		keys, err := s.Snapshot(eng.Thread(50))
 		if err != nil {
 			t.Fatal(err)
 		}
