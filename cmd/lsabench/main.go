@@ -12,10 +12,11 @@
 //	lsabench -experiment all                  everything above
 //
 // The bench experiment iterates the engine registry: every STM backend —
-// LSA under each time base, TL2, the word-based engine, the validating
-// baseline — runs the same workloads through the same harness. Select
-// backends with -engine (which implies -experiment bench when no experiment
-// is named):
+// LSA under each time base, TL2 (on its counter and on the externally
+// synchronized clock), the word-based engine, the validating baseline, the
+// NOrec sequence-lock engine, and the coarse-global-lock reference — runs
+// the same workloads through the same harness. Select backends with -engine
+// (which implies -experiment bench when no experiment is named):
 //
 //	lsabench -engine tl2                      bank + intset on TL2 only
 //	lsabench -engine lsa/mmtimer,wordstm      two backends, same scenarios
@@ -192,6 +193,7 @@ func benchWorkloads() []harness.Workload {
 		&workload.Bank{Accounts: 64, Seed: 1},
 		&workload.IntSet{KeyRange: 128, Seed: 1},
 		&workload.HashSet{Buckets: 64, Seed: 1},
+		&workload.SkipList{KeyRange: 512, Seed: 1},
 		&workload.Disjoint{Accesses: 10},
 	}
 }

@@ -7,6 +7,7 @@
 //	stmstress -duration 10s
 //	stmstress -duration 1m -workers 8 -engine lsa/extsync
 //	stmstress -engine tl2,wordstm,rstmval
+//	stmstress -engine norec,glock,tl2/extsync   the value-based backend family
 //	stmstress -timebase extsync:5000            LSA core on a custom time base
 //
 // The workload mixes bank transfers with read-only audits of the conserved

@@ -19,6 +19,18 @@ import (
 
 const confWorkers = 4
 
+// confIters scales a per-worker iteration count down in -short mode: the CI
+// cross-engine job runs the whole suite × 11 engines under the race
+// detector, where full iteration counts cost minutes without adding
+// coverage beyond what the long mode already proves.
+func confIters(t *testing.T, n int) int {
+	t.Helper()
+	if testing.Short() {
+		return n / 4
+	}
+	return n
+}
+
 func TestConformanceBankInvariant(t *testing.T) {
 	for _, name := range engine.Names() {
 		t.Run(name, func(t *testing.T) {
@@ -34,7 +46,7 @@ func TestConformanceBankInvariant(t *testing.T) {
 					defer wg.Done()
 					th := eng.Thread(id)
 					step := b.Step(eng, th, id)
-					for i := 0; i < 200; i++ {
+					for i := 0; i < confIters(t, 200); i++ {
 						if err := step(); err != nil {
 							t.Errorf("worker %d: %v", id, err)
 							return
@@ -72,7 +84,7 @@ func TestConformanceSnapshotConsistency(t *testing.T) {
 				go func(id int) {
 					defer wg.Done()
 					th := eng.Thread(id)
-					for i := 1; i <= 300; i++ {
+					for i := 1; i <= confIters(t, 300); i++ {
 						var err error
 						switch {
 						case id%2 == 0:
@@ -142,7 +154,7 @@ func TestConformanceIntSet(t *testing.T) {
 					defer wg.Done()
 					th := eng.Thread(id)
 					step := s.Step(eng, th, id)
-					for i := 0; i < 150; i++ {
+					for i := 0; i < confIters(t, 150); i++ {
 						if err := step(); err != nil {
 							t.Errorf("worker %d: %v", id, err)
 							return
@@ -167,6 +179,51 @@ func TestConformanceIntSet(t *testing.T) {
 					t.Errorf("duplicate key %d", k)
 				}
 				seen[k] = true
+			}
+		})
+	}
+}
+
+// TestConformanceSkipList runs the multi-level skiplist concurrently on
+// every backend: towers splice several cells per update (often rewriting
+// the same predecessor at adjacent levels), so read-own-write handling and
+// dynamic cell allocation must compose with each engine's retry machinery
+// on a deeper structure than the linked list.
+func TestConformanceSkipList(t *testing.T) {
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := engine.MustNew(name, engine.Options{Nodes: confWorkers})
+			s := &workload.SkipList{KeyRange: 48, UpdateRatio: 0.6, Seed: 23}
+			if err := s.Init(eng, confWorkers); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for id := 0; id < confWorkers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := eng.Thread(id)
+					step := s.Step(eng, th, id)
+					for i := 0; i < confIters(t, 150); i++ {
+						if err := step(); err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			keys, err := s.Snapshot(eng.Thread(confWorkers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := -1
+			for _, k := range keys {
+				if k <= last {
+					t.Errorf("skiplist bottom level out of order: %v", keys)
+					break
+				}
+				last = k
 			}
 		})
 	}

@@ -10,8 +10,14 @@
 //     pluggable time base ("lsa/shared", "lsa/tl2ts", "lsa/mmtimer",
 //     "lsa/ideal", "lsa/extsync"),
 //   - the word-based LSA variant ("wordstm"),
-//   - a TL2 reimplementation ("tl2"),
-//   - a validating STM with the RSTM commit-counter heuristic ("rstmval").
+//   - a TL2 reimplementation ("tl2"), also composed with the externally
+//     synchronized time base ("tl2/extsync") to isolate what
+//     multi-versioning buys under clock deviation,
+//   - a validating STM with the RSTM commit-counter heuristic ("rstmval"),
+//   - a NOrec-style value-validating STM over a single global sequence lock
+//     ("norec") — the minimal-metadata counterpoint,
+//   - a coarse-global-lock reference engine ("glock") — the honesty
+//     baseline for low thread counts.
 //
 // This package makes them interchangeable: workloads, the throughput
 // harness, the stress tool, and the benchmarks are written once against

@@ -7,10 +7,10 @@ import (
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	if len(names) < 4 {
-		t.Fatalf("registered backends = %v, want at least lsa/*, tl2, wordstm, rstmval", names)
-	}
-	for _, want := range []string{"lsa/shared", "lsa/tl2ts", "lsa/mmtimer", "lsa/ideal", "lsa/extsync", "tl2", "wordstm", "rstmval"} {
+	for _, want := range []string{
+		"lsa/shared", "lsa/tl2ts", "lsa/mmtimer", "lsa/ideal", "lsa/extsync",
+		"tl2", "tl2/extsync", "wordstm", "rstmval", "norec", "glock",
+	} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -27,6 +27,40 @@ func TestRegistryNames(t *testing.T) {
 			t.Errorf("names not sorted: %v", names)
 		}
 	}
+}
+
+// TestRegisteredEngineCount is the registration gate CI runs with -race
+// -short: a backend whose init forgot to Register (or a registry refactor
+// that drops one) fails the build here, not in a bench someone runs later.
+func TestRegisteredEngineCount(t *testing.T) {
+	const floor = 11
+	if names := Names(); len(names) < floor {
+		t.Fatalf("only %d engines registered, want ≥ %d: %v", len(names), floor, names)
+	}
+}
+
+// TestRegisterDuplicatePanics: a second Register under an existing name must
+// panic with a message naming the backend — silent overwrites would let two
+// init functions fight over a name and benchmark the wrong engine.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	const name = "test/dup-probe"
+	factory := func(Options) (Engine, error) { return nil, nil }
+	Register(name, factory)
+	defer func() {
+		// Remove the probe so registry-iterating tests never see it.
+		registryMu.Lock()
+		delete(registry, name)
+		registryMu.Unlock()
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, name) {
+			t.Errorf("panic message must name the duplicate backend, got %v", r)
+		}
+	}()
+	Register(name, factory)
 }
 
 func TestNewUnknownBackend(t *testing.T) {

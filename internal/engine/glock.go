@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/glock"
+)
+
+// The "glock" backend: the coarse-global-lock honesty baseline. One
+// reader/writer mutex serializes all transactions — no versions, no
+// validation, no aborts — so it trivially satisfies opacity and anchors the
+// low-thread-count end of every comparison: an STM only earns its keep where
+// its curve crosses above this one.
+func init() {
+	Register("glock", func(o Options) (Engine, error) {
+		return &glockEngine{stm: glock.New()}, nil
+	})
+}
+
+type glockEngine struct {
+	stm *glock.STM
+	counterSet
+}
+
+func (e *glockEngine) Name() string { return "glock" }
+
+func (e *glockEngine) NewCell(initial any) Cell { return glock.NewObject(initial) }
+
+func (e *glockEngine) Thread(id int) Thread {
+	return &glockThread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+}
+
+type glockThread struct {
+	id       int
+	th       *glock.Thread
+	counters *txnCounters
+}
+
+func (t *glockThread) ID() int { return t.id }
+
+func (t *glockThread) Run(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.Run, wrapGlock, fn)
+}
+
+func (t *glockThread) RunReadOnly(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.RunReadOnly, wrapGlock, fn)
+}
+
+func wrapGlock(tx *glock.Tx) Txn { return glockTxn{tx} }
+
+type glockTxn struct {
+	tx *glock.Tx
+}
+
+func (t glockTxn) Read(c Cell) (any, error)  { return t.tx.Read(glockCell(c)) }
+func (t glockTxn) Write(c Cell, v any) error { return t.tx.Write(glockCell(c), v) }
+
+func glockCell(c Cell) *glock.Object {
+	o, ok := c.(*glock.Object)
+	if !ok {
+		panic(fmt.Sprintf("engine: cell of type %T used with the glock backend", c))
+	}
+	return o
+}

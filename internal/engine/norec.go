@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/norec"
+)
+
+// The "norec" backend: value-based validation over a single global sequence
+// lock — no per-object metadata at all. Its time base is the sequence lock
+// itself: commits serialize on one cache line like a shared-counter STM,
+// but reads touch no shared state until the lock moves, so read-dominated
+// workloads stay cheap at low thread counts. The minimal-metadata
+// counterpoint to every timestamp-ordered engine in the registry.
+func init() {
+	Register("norec", func(o Options) (Engine, error) {
+		return &norecEngine{stm: norec.New()}, nil
+	})
+}
+
+type norecEngine struct {
+	stm *norec.STM
+	counterSet
+}
+
+func (e *norecEngine) Name() string { return "norec" }
+
+func (e *norecEngine) NewCell(initial any) Cell { return norec.NewObject(initial) }
+
+func (e *norecEngine) Thread(id int) Thread {
+	return &norecThread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+}
+
+type norecThread struct {
+	id       int
+	th       *norec.Thread
+	counters *txnCounters
+}
+
+func (t *norecThread) ID() int { return t.id }
+
+func (t *norecThread) Run(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.Run, wrapNorec, fn)
+}
+
+func (t *norecThread) RunReadOnly(fn func(Txn) error) error {
+	return runCounted(t.counters, t.th.RunReadOnly, wrapNorec, fn)
+}
+
+func wrapNorec(tx *norec.Tx) Txn { return norecTxn{tx} }
+
+type norecTxn struct {
+	tx *norec.Tx
+}
+
+func (t norecTxn) Read(c Cell) (any, error)  { return t.tx.Read(norecCell(c)) }
+func (t norecTxn) Write(c Cell, v any) error { return t.tx.Write(norecCell(c), v) }
+
+func norecCell(c Cell) *norec.Object {
+	o, ok := c.(*norec.Object)
+	if !ok {
+		panic(fmt.Sprintf("engine: cell of type %T used with the norec backend", c))
+	}
+	return o
+}

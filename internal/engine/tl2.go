@@ -6,21 +6,37 @@ import (
 	"repro/internal/tl2"
 )
 
-// The "tl2" backend: the lean single-version TL2 reimplementation, with its
-// own global version clock. Read-only transactions keep no read set;
-// readers that arrive too late abort instead of reading history.
+// The "tl2" backend: the lean single-version TL2 reimplementation on its
+// classic shared-counter version clock. Read-only transactions keep no read
+// set; readers that arrive too late abort instead of reading history.
+//
+// The "tl2/extsync" backend composes the same algorithm with the externally
+// synchronized time base of §3.2 (the same device and deviation bound as
+// "lsa/extsync"). The pairing isolates what multi-versioning buys under
+// clock deviation: both engines pay the masked ⪰ comparisons, but where LSA
+// serves an older version from history, single-version TL2 can only abort —
+// the throughput gap between "tl2/extsync" and "lsa/extsync" is the Fig. 2
+// question asked from the other side.
 func init() {
 	Register("tl2", func(o Options) (Engine, error) {
-		return &tl2Engine{stm: tl2.New()}, nil
+		return &tl2Engine{name: "tl2", stm: tl2.New()}, nil
+	})
+	Register("tl2/extsync", func(o Options) (Engine, error) {
+		tb, err := newExtSyncTimeBase(o)
+		if err != nil {
+			return nil, err
+		}
+		return &tl2Engine{name: "tl2/extsync", stm: tl2.NewWithTimeBase(tb)}, nil
 	})
 }
 
 type tl2Engine struct {
-	stm *tl2.STM
+	name string
+	stm  *tl2.STM
 	counterSet
 }
 
-func (e *tl2Engine) Name() string { return "tl2" }
+func (e *tl2Engine) Name() string { return e.name }
 
 func (e *tl2Engine) NewCell(initial any) Cell { return tl2.NewObject(initial) }
 

@@ -1,0 +1,115 @@
+// Package glock is the coarse-global-lock reference engine: every update
+// transaction runs under one global mutex, read-only transactions share a
+// read lock. It is deliberately the simplest possible implementation of the
+// transactional interface — no versions, no validation, no aborts — and
+// therefore trivially opaque: transactions are literally serialized (update
+// against everything; read-only only against updates).
+//
+// Its role in the comparison matrix is honesty: at one or two threads a
+// well-implemented global lock beats every STM, and any speedup an STM
+// claims must be measured against this baseline, not against itself at one
+// thread. Where the STMs pay per-access bookkeeping, glock pays one lock
+// acquisition per transaction — so its throughput curve is flat-to-falling
+// in the thread count, crossing below the scalable engines exactly where
+// transactional concurrency starts to pay.
+package glock
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrReadOnly is returned by Write inside a read-only transaction. glock
+// transactions never abort — it is the only error the package produces.
+var ErrReadOnly = errors.New("glock: write inside read-only transaction")
+
+// STM is a coarse-lock universe: one reader/writer mutex serializing all
+// transactions against it.
+type STM struct {
+	mu sync.RWMutex
+}
+
+// New creates a universe.
+func New() *STM { return &STM{} }
+
+// Object is a transactional cell: a bare value slot, protected entirely by
+// the universe's global lock.
+type Object struct {
+	val any
+}
+
+// NewObject creates an object holding initial. An object is private until a
+// committed write publishes a reference to it, so creation needs no lock.
+func NewObject(initial any) *Object { return &Object{val: initial} }
+
+type writeEntry struct {
+	obj *Object
+	val any
+}
+
+// Tx is one glock transaction. Writes are buffered and applied only when
+// the closure succeeds, so a user error leaves memory untouched (the
+// all-or-nothing half of atomicity; isolation comes from the lock).
+type Tx struct {
+	readOnly bool
+	writes   []writeEntry
+}
+
+// Read returns the object's current value (the write buffer shadows
+// committed state within the transaction).
+func (tx *Tx) Read(o *Object) (any, error) {
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].obj == o {
+			return tx.writes[i].val, nil
+		}
+	}
+	return o.val, nil
+}
+
+// Write buffers the new value; it is applied if the transaction closure
+// returns nil.
+func (tx *Tx) Write(o *Object, val any) error {
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].obj == o {
+			tx.writes[i].val = val
+			return nil
+		}
+	}
+	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+	return nil
+}
+
+// Thread is a worker context (API-compatible shape with the core engine's
+// Thread so workloads translate directly).
+type Thread struct {
+	stm *STM
+}
+
+// Thread creates a worker context.
+func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
+
+// Run executes fn under the global write lock. There are no retries: the
+// first execution is the only one, and it cannot abort.
+func (t *Thread) Run(fn func(*Tx) error) error {
+	t.stm.mu.Lock()
+	defer t.stm.mu.Unlock()
+	tx := &Tx{}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	for i := range tx.writes {
+		tx.writes[i].obj.val = tx.writes[i].val
+	}
+	return nil
+}
+
+// RunReadOnly executes fn under the shared read lock; concurrent read-only
+// transactions proceed in parallel, writers are excluded.
+func (t *Thread) RunReadOnly(fn func(*Tx) error) error {
+	t.stm.mu.RLock()
+	defer t.stm.mu.RUnlock()
+	return fn(&Tx{readOnly: true})
+}

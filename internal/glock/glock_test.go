@@ -1,0 +1,172 @@
+package glock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReadWriteCommit(t *testing.T) {
+	s := New()
+	o := NewObject(41)
+	th := s.Thread(0)
+	if err := th.Run(func(tx *Tx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v.(int)+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readInt(t, s, o); got != 42 {
+		t.Errorf("value = %d, want 42", got)
+	}
+}
+
+func TestReadOwnWrite(t *testing.T) {
+	s := New()
+	o := NewObject(1)
+	if err := s.Thread(0).Run(func(tx *Tx) error {
+		if err := tx.Write(o, 5); err != nil {
+			return err
+		}
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		if v.(int) != 5 {
+			t.Errorf("read-own-write = %v, want 5", v)
+		}
+		return tx.Write(o, 6)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readInt(t, s, o); got != 6 {
+		t.Errorf("value = %d, want 6", got)
+	}
+}
+
+func TestReadOnlyRejectsWrite(t *testing.T) {
+	s := New()
+	o := NewObject(1)
+	err := s.Thread(0).RunReadOnly(func(tx *Tx) error { return tx.Write(o, 2) })
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("got %v, want ErrReadOnly", err)
+	}
+}
+
+func TestUserErrorRollsBack(t *testing.T) {
+	s := New()
+	a, b := NewObject(1), NewObject(2)
+	boom := errors.New("boom")
+	err := s.Thread(0).Run(func(tx *Tx) error {
+		if err := tx.Write(a, 100); err != nil {
+			return err
+		}
+		if err := tx.Write(b, 200); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if got := readInt(t, s, a); got != 1 {
+		t.Errorf("a = %d, want 1 (write leaked)", got)
+	}
+	if got := readInt(t, s, b); got != 2 {
+		t.Errorf("b = %d, want 2 (write leaked)", got)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	s := New()
+	o := NewObject(0)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.Thread(id)
+			for i := 0; i < per; i++ {
+				if err := th.Run(func(tx *Tx) error {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					return tx.Write(o, v.(int)+1)
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := readInt(t, s, o); got != workers*per {
+		t.Errorf("counter = %d, want %d (lost updates)", got, workers*per)
+	}
+}
+
+func TestPairInvariantUnderConcurrency(t *testing.T) {
+	s := New()
+	a, b := NewObject(0), NewObject(0)
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.Thread(id)
+			for i := 1; i <= 300; i++ {
+				var err error
+				if id%2 == 0 {
+					n := id*1000 + i
+					err = th.Run(func(tx *Tx) error {
+						if err := tx.Write(a, n); err != nil {
+							return err
+						}
+						return tx.Write(b, -n)
+					})
+				} else {
+					err = th.RunReadOnly(func(tx *Tx) error {
+						av, err := tx.Read(a)
+						if err != nil {
+							return err
+						}
+						bv, err := tx.Read(b)
+						if err != nil {
+							return err
+						}
+						if av.(int)+bv.(int) != 0 {
+							t.Errorf("torn pair: %v/%v", av, bv)
+						}
+						return nil
+					})
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+func readInt(t *testing.T, s *STM, o *Object) int {
+	t.Helper()
+	var out int
+	if err := s.Thread(99).RunReadOnly(func(tx *Tx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		out = v.(int)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package norec is a NOrec-style software transactional memory (Dalessandro,
+// Spear, Scott, PPoPP 2010): the "minimal metadata" counterpoint to the
+// timestamp-ordered engines in this repository. Where LSA and TL2 attach a
+// version to every object, NOrec keeps no per-object metadata at all — the
+// only shared state is one global sequence lock:
+//
+//   - the sequence lock is even when quiescent and odd while a writer is
+//     committing; every committed update transaction bumps it by two;
+//   - reads are logged with the value seen (a value log, not a version log);
+//     whenever the transaction notices the sequence lock has moved it
+//     re-validates the whole log by comparing current values — value-based
+//     validation tolerates silent re-writes of the same value;
+//   - commit acquires the sequence lock with one compare-and-swap, writes
+//     back the buffered write set, and releases the lock.
+//
+// Within the paper's taxonomy NOrec is the extreme single-counter design:
+// its time base is the sequence lock itself, so commits serialize on one
+// cache line just like a shared-counter STM — but reads never touch shared
+// metadata until the counter moves, which keeps read-dominated workloads
+// cheap at low thread counts.
+//
+// Cells store immutable value snapshots behind an atomic pointer, so the
+// value log records the observed snapshot pointer: pointer equality proves
+// the value is unchanged, and when pointers differ the values themselves are
+// compared (for comparable types), which preserves NOrec's tolerance of
+// silently restored values.
+package norec
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrAborted signals that the transaction attempt failed and was retried.
+var ErrAborted = errors.New("norec: transaction aborted")
+
+// ErrReadOnly is returned by Write inside a read-only transaction.
+var ErrReadOnly = errors.New("norec: write inside read-only transaction")
+
+// STM is a NOrec universe: the global sequence lock shared by all
+// transactions against it.
+type STM struct {
+	_   [64]byte
+	seq atomic.Int64 // even = quiescent, odd = a writer holds the lock
+	_   [64]byte
+}
+
+// New creates a universe with the sequence lock at zero.
+func New() *STM { return &STM{} }
+
+// Sequence exposes the sequence-lock value, for tests.
+func (s *STM) Sequence() int64 { return s.seq.Load() }
+
+// waitQuiescent spins until the sequence lock is even and returns its value.
+// Writers hold the lock only for the write-back, so the spin is short; after
+// a few iterations it yields to the scheduler in case the writer's
+// goroutine was preempted mid-commit.
+func (s *STM) waitQuiescent() int64 {
+	for i := 0; ; i++ {
+		v := s.seq.Load()
+		if v&1 == 0 {
+			return v
+		}
+		if i > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Object is a transactional cell: just the current value snapshot. NOrec
+// keeps no per-object metadata — that is the point.
+type Object struct {
+	val atomic.Pointer[any]
+}
+
+// NewObject creates an object holding initial.
+func NewObject(initial any) *Object {
+	o := &Object{}
+	v := initial
+	o.val.Store(&v)
+	return o
+}
+
+// readEntry is one value-log record: the object and the value snapshot
+// observed, identified by its pointer.
+type readEntry struct {
+	obj  *Object
+	seen *any
+}
+
+type writeEntry struct {
+	obj *Object
+	val any
+}
+
+// smallWriteSet is the write-set size up to which lookup scans the entries
+// slice instead of maintaining a map — the same ≤8-entry linear-scan fast
+// path as the LSA core's access set (core.smallAccessSet): most transactions
+// write a handful of objects, and for those a backward scan over a
+// contiguous slice beats a map's hashing and per-attempt clearing cost.
+const smallWriteSet = 8
+
+// Tx is one NOrec transaction attempt.
+type Tx struct {
+	stm      *STM
+	snapshot int64 // sequence-lock value the read set is consistent at
+	readOnly bool
+	reads    []readEntry
+	writes   []writeEntry
+	windex   map[*Object]int // nil while the write set is small
+}
+
+// wlookup finds the write-set entry for o: a linear scan while the set is
+// small, the map built by wadd beyond that.
+func (tx *Tx) wlookup(o *Object) (int, bool) {
+	if tx.windex != nil {
+		idx, ok := tx.windex[o]
+		return idx, ok
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].obj == o {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// wadd appends a write-set entry; crossing smallWriteSet promotes the index
+// to a map.
+func (tx *Tx) wadd(o *Object, val any) {
+	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+	if tx.windex != nil {
+		tx.windex[o] = len(tx.writes) - 1
+	} else if len(tx.writes) > smallWriteSet {
+		tx.windex = make(map[*Object]int, 4*smallWriteSet)
+		for i := range tx.writes {
+			tx.windex[tx.writes[i].obj] = i
+		}
+	}
+}
+
+// Read returns o's value in the transaction's snapshot, extending the
+// snapshot (by re-validating the value log) whenever the sequence lock has
+// moved since the last validation.
+func (tx *Tx) Read(o *Object) (any, error) {
+	if idx, ok := tx.wlookup(o); ok {
+		return tx.writes[idx].val, nil
+	}
+	for {
+		vp := o.val.Load()
+		if tx.stm.seq.Load() == tx.snapshot {
+			// No commit since the snapshot: vp is consistent with every
+			// previously logged value.
+			tx.reads = append(tx.reads, readEntry{obj: o, seen: vp})
+			return *vp, nil
+		}
+		// The clock bumped: re-validate the whole log, which also advances
+		// the snapshot, then retry the read under the new snapshot.
+		if err := tx.revalidate(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// revalidate re-checks the entire value log against current memory and, on
+// success, moves the snapshot up to a sequence-lock value the log is
+// consistent at (NOrec's validate loop). Value-based: a log entry passes if
+// the observed snapshot pointer is unchanged, or if the current value
+// compares equal to the logged one.
+func (tx *Tx) revalidate() error {
+	for {
+		s := tx.stm.waitQuiescent()
+		for i := range tx.reads {
+			r := &tx.reads[i]
+			cur := r.obj.val.Load()
+			if cur == r.seen {
+				continue
+			}
+			if !valuesEqual(*cur, *r.seen) {
+				return ErrAborted
+			}
+			// Same value behind a fresh pointer (a silent restore): adopt
+			// the current pointer so future pointer checks stay fast.
+			r.seen = cur
+		}
+		// The log only proves consistency at s if no writer committed while
+		// we scanned it.
+		if tx.stm.seq.Load() == s {
+			tx.snapshot = s
+			return nil
+		}
+	}
+}
+
+// valuesEqual is the value-based comparison of the validation step. Values
+// of uncomparable types (slices, maps) cannot be checked cheaply and count
+// as changed — for those the pointer fast path in revalidate is the only
+// way to pass, which is safe, merely conservative. Type.Comparable is a
+// static property, so a comparable-typed value can still hold an
+// uncomparable dynamic value in an interface field; the recover turns that
+// panic into "changed" as well.
+func valuesEqual(a, b any) (eq bool) {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
+// Write buffers the new value; it becomes visible at commit.
+func (tx *Tx) Write(o *Object, val any) error {
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if idx, ok := tx.wlookup(o); ok {
+		tx.writes[idx].val = val
+		return nil
+	}
+	tx.wadd(o, val)
+	return nil
+}
+
+// commit runs the NOrec commit protocol: acquire the sequence lock at the
+// snapshot (re-validating until the acquisition succeeds), write back, and
+// release with the next even value.
+func (tx *Tx) commit() error {
+	if len(tx.writes) == 0 {
+		// The value log was validated incrementally; the reads form a
+		// consistent snapshot at tx.snapshot and nothing was written.
+		return nil
+	}
+	for !tx.stm.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		// Another transaction committed (or is committing) since our
+		// snapshot: catch the snapshot up, then try again.
+		if err := tx.revalidate(); err != nil {
+			return err
+		}
+	}
+	// Sequence lock held (odd): write back the buffered values.
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		v := w.val
+		w.obj.val.Store(&v)
+	}
+	tx.stm.seq.Store(tx.snapshot + 2)
+	return nil
+}
+
+// Thread is a worker context (API-compatible shape with the core engine's
+// Thread so workloads translate directly).
+type Thread struct {
+	stm *STM
+}
+
+// Thread creates a worker context.
+func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
+
+// Run executes fn transactionally, retrying on aborts.
+func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
+
+// RunReadOnly executes fn as a read-only transaction. NOrec read-only
+// transactions still keep the value log — incremental validation is what
+// makes their snapshots consistent — but commit is empty.
+func (t *Thread) RunReadOnly(fn func(*Tx) error) error { return t.run(true, fn) }
+
+func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
+	for {
+		tx := &Tx{stm: t.stm, snapshot: t.stm.waitQuiescent(), readOnly: readOnly}
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit()
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+}

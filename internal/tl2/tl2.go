@@ -8,18 +8,25 @@
 //   - no validity-range extensions — an object may only be read if its last
 //     update precedes the transaction's start time, except for the implicit
 //     revalidation during commit;
-//   - commit locks the write set, increments the global version clock, and
-//     validates the read set against the start time.
+//   - commit locks the write set, fetches a new timestamp from the version
+//     clock, and validates the read set against the start time.
 //
-// The global version clock is the same shared-counter time base whose
-// scalability the paper questions; the optional commit-timestamp sharing
-// optimization lives in the counter itself (timebase.TL2Counter) and is
-// benchmarked separately.
+// The version clock is pluggable (NewWithTimeBase): by default it is the
+// same shared-counter time base whose scalability the paper questions; the
+// optional commit-timestamp sharing optimization lives in the counter itself
+// (timebase.TL2Counter) and is benchmarked separately. Running TL2 on the
+// externally synchronized clock of §3.2 (timebase.ExtSyncClock) isolates
+// what multi-versioning buys under clock deviation: versions and snapshots
+// compare through the masked ⪰ operator, so the deviation virtually ages
+// recent versions — and TL2, having no history to fall back to, turns every
+// masked gap into an abort where LSA serves an older version.
 package tl2
 
 import (
 	"errors"
 	"sync/atomic"
+
+	"repro/internal/timebase"
 )
 
 // ErrAborted signals that the transaction attempt failed and was retried.
@@ -28,42 +35,72 @@ var ErrAborted = errors.New("tl2: transaction aborted")
 // ErrReadOnly is returned by Write inside a read-only transaction.
 var ErrReadOnly = errors.New("tl2: write inside read-only transaction")
 
-// STM is a TL2 universe: a global version clock shared by all objects
-// created against it.
+// STM is a TL2 universe: a version clock shared by all objects created
+// against it.
 type STM struct {
-	_     [64]byte
-	clock atomic.Int64
-	_     [64]byte
+	tb timebase.TimeBase
+	// exclusive records that GetNewTS values are obtained by an exclusive
+	// atomic increment, which the rv+1 validation short cut requires: a
+	// shared timestamp (TL2Counter's sharing path) can equal rv+1 even
+	// though another transaction committed in between.
+	exclusive bool
 }
 
-// New creates a TL2 universe with the clock at zero.
-func New() *STM { return &STM{} }
+// New creates a TL2 universe on the classic shared-counter version clock.
+func New() *STM { return NewWithTimeBase(timebase.NewSharedCounter()) }
 
-// Clock exposes the current global version, for tests.
-func (s *STM) Clock() int64 { return s.clock.Load() }
+// NewWithTimeBase creates a TL2 universe whose read and write versions come
+// from tb. The plain shared counter reproduces the original algorithm
+// including its validation short cut; every other base — the
+// timestamp-sharing TL2Counter (whose shared values may collide with rv+1
+// without excluding intervening commits) as well as imprecise clocks —
+// validates the read set on every update commit. Imprecise bases
+// (ExtSyncClock) are compared through the deviation-masking Timestamp
+// operators, which keeps the algorithm safe at the price of extra aborts
+// near the deviation bound.
+func NewWithTimeBase(tb timebase.TimeBase) *STM {
+	_, exclusive := tb.(*timebase.SharedCounter)
+	return &STM{tb: tb, exclusive: exclusive}
+}
+
+// TimeBase returns the version clock the universe runs on.
+func (s *STM) TimeBase() timebase.TimeBase { return s.tb }
+
+// verMeta is one immutable version-lock state of an object. Every state
+// transition installs a fresh *verMeta, so two equal pointers observed
+// around a value load prove the object did not change in between. (A failed
+// commit restores the exact pre-lock pointer, but it also leaves the value
+// untouched, so that ABA is harmless.)
+type verMeta struct {
+	ver    timebase.Timestamp
+	locked bool
+}
+
+// genesisMeta is the shared version word of freshly created objects: valid
+// since −∞, so a transaction on any time base — including one whose clock
+// values are small compared to its deviation — can read new objects.
+var genesisMeta = &verMeta{ver: timebase.NegInf}
 
 // Object is a single-version transactional cell: a versioned lock word and
-// the current value. The lock word holds version<<1|locked.
+// the current value.
 type Object struct {
-	meta atomic.Int64
+	meta atomic.Pointer[verMeta]
 	val  atomic.Pointer[any]
 }
 
-// NewObject creates an object at version 0 holding initial.
+// NewObject creates an object at the genesis version holding initial.
 func NewObject(initial any) *Object {
 	o := &Object{}
 	v := initial
 	o.val.Store(&v)
+	o.meta.Store(genesisMeta)
 	return o
 }
-
-func locked(meta int64) bool   { return meta&1 == 1 }
-func version(meta int64) int64 { return meta >> 1 }
 
 // Tx is one TL2 transaction attempt.
 type Tx struct {
 	stm      *STM
-	rv       int64 // read version: global clock at start
+	rv       timebase.Timestamp // read version: clock reading at start
 	readOnly bool
 	reads    []readEntry
 	writes   []writeEntry
@@ -75,8 +112,9 @@ type readEntry struct {
 }
 
 type writeEntry struct {
-	obj *Object
-	val any
+	obj  *Object
+	val  any
+	prev *verMeta // pre-lock version word, restored on a failed commit
 }
 
 // Read returns the object's value if its version precedes the
@@ -87,12 +125,11 @@ func (tx *Tx) Read(o *Object) (any, error) {
 		return tx.writes[idx].val, nil
 	}
 	m1 := o.meta.Load()
-	if locked(m1) {
+	if m1.locked {
 		return nil, ErrAborted
 	}
 	vp := o.val.Load()
-	m2 := o.meta.Load()
-	if m1 != m2 || version(m2) > tx.rv {
+	if o.meta.Load() != m1 || !tx.rv.LaterEq(m1.ver) {
 		return nil, ErrAborted
 	}
 	if !tx.readOnly {
@@ -118,70 +155,93 @@ func (tx *Tx) Write(o *Object, val any) error {
 	return nil
 }
 
+// exactSuccessor reports that wv is the immediate successor of rv on an
+// exact clock — TL2's validation short cut: when wv additionally comes from
+// an exclusive increment (STM.exclusive), no transaction can have committed
+// between the two, so the read set needs no commit-time check. Imprecise
+// timestamps never qualify.
+func exactSuccessor(rv, wv timebase.Timestamp) bool {
+	return rv.CID == timebase.CIDExact && wv.CID == timebase.CIDExact &&
+		rv.Dev == 0 && wv.Dev == 0 && wv.TS == rv.TS+1
+}
+
 // commit runs the TL2 commit protocol.
-func (tx *Tx) commit() error {
+func (tx *Tx) commit(clock timebase.Clock) error {
 	if len(tx.writes) == 0 {
 		// Reads were individually validated against rv; nothing to do.
 		return nil
 	}
-	// Phase 1: lock the write set (try-lock; abort on any conflict).
+	// Phase 1: lock the write set (try-lock; abort on any conflict). One
+	// locked word serves the whole set: nothing ever reads ver from a
+	// locked word (every path aborts on locked first), and unlock restores
+	// the saved per-object prev pointers.
+	locked := &verMeta{locked: true}
 	lockedUpTo := -1
 	for i := range tx.writes {
 		o := tx.writes[i].obj
 		m := o.meta.Load()
-		if locked(m) || version(m) > tx.rv {
+		if m.locked || !tx.rv.LaterEq(m.ver) {
 			tx.unlock(lockedUpTo)
 			return ErrAborted
 		}
-		if !o.meta.CompareAndSwap(m, m|1) {
+		if !o.meta.CompareAndSwap(m, locked) {
 			tx.unlock(lockedUpTo)
 			return ErrAborted
 		}
+		tx.writes[i].prev = m
 		lockedUpTo = i
 	}
-	// Phase 2: increment the global version clock.
-	wv := tx.stm.clock.Add(1)
-	// Phase 3: validate the read set — unless rv+1 == wv, in which case no
+	// Phase 2: fetch the write version from the clock.
+	wv := clock.GetNewTS()
+	// Phase 3: validate the read set — unless wv is provably the immediate
+	// successor of rv obtained by an exclusive increment, in which case no
 	// transaction can have committed in between (the TL2 short cut).
-	if wv != tx.rv+1 {
+	if !tx.stm.exclusive || !exactSuccessor(tx.rv, wv) {
 		for _, r := range tx.reads {
-			m := r.obj.meta.Load()
 			if _, own := tx.windex[r.obj]; own {
 				continue
 			}
-			if locked(m) || version(m) > tx.rv {
+			m := r.obj.meta.Load()
+			if m.locked || !tx.rv.LaterEq(m.ver) {
 				tx.unlock(lockedUpTo)
 				return ErrAborted
 			}
 		}
 	}
-	// Phase 4: install values and release locks with the new version.
+	// Phase 4: install values and release locks with the new version. One
+	// version word is shared by the whole write set: pointer identity is
+	// only ever compared per object, so sharing is safe and saves
+	// allocations.
+	next := &verMeta{ver: wv}
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		v := w.val
 		w.obj.val.Store(&v)
-		w.obj.meta.Store(wv << 1)
+		w.obj.meta.Store(next)
 	}
 	return nil
 }
 
 // unlock releases write locks [0..upTo] after a failed commit, restoring
-// the pre-lock version.
+// the pre-lock version word.
 func (tx *Tx) unlock(upTo int) {
 	for i := 0; i <= upTo; i++ {
-		o := tx.writes[i].obj
-		o.meta.Store(o.meta.Load() &^ 1)
+		tx.writes[i].obj.meta.Store(tx.writes[i].prev)
 	}
 }
 
 // Thread is a worker context (API-compatible shape with the core engine's
 // Thread so workloads translate directly).
 type Thread struct {
-	stm *STM
+	stm   *STM
+	clock timebase.Clock
 }
 
-// Thread creates a worker context.
-func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
+// Thread creates a worker context. id selects the worker's clock for
+// per-node time bases.
+func (s *STM) Thread(id int) *Thread {
+	return &Thread{stm: s, clock: s.tb.Clock(id)}
+}
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
@@ -193,10 +253,10 @@ func (t *Thread) RunReadOnly(fn func(*Tx) error) error { return t.run(true, fn) 
 
 func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 	for {
-		tx := &Tx{stm: t.stm, rv: t.stm.clock.Load(), readOnly: readOnly}
+		tx := &Tx{stm: t.stm, rv: t.clock.GetTime(), readOnly: readOnly}
 		err := fn(tx)
 		if err == nil {
-			err = tx.commit()
+			err = tx.commit(t.clock)
 		}
 		if err == nil {
 			return nil

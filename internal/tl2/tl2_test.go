@@ -4,6 +4,9 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"repro/internal/hwclock"
+	"repro/internal/timebase"
 )
 
 func TestReadInitial(t *testing.T) {
@@ -36,8 +39,10 @@ func TestWriteCommitRead(t *testing.T) {
 	if got := readInt(t, s, o); got != 7 {
 		t.Errorf("value = %d, want 7", got)
 	}
-	if s.Clock() != 1 {
-		t.Errorf("clock = %d, want 1", s.Clock())
+	// The default universe runs on a shared counter starting at 1; one
+	// update commit advances it once.
+	if now := s.TimeBase().(*timebase.SharedCounter).Now(); now != 2 {
+		t.Errorf("version clock = %d, want 2", now)
 	}
 }
 
@@ -232,6 +237,139 @@ func TestBankConservation(t *testing.T) {
 	}
 	if sum != n*initial {
 		t.Errorf("total = %d, want %d", sum, n*initial)
+	}
+}
+
+func TestExactSuccessor(t *testing.T) {
+	if !exactSuccessor(timebase.Exact(4), timebase.Exact(5)) {
+		t.Error("4→5 exact must qualify for the validation short cut")
+	}
+	if exactSuccessor(timebase.Exact(4), timebase.Exact(6)) {
+		t.Error("4→6 must not qualify")
+	}
+	imprecise := timebase.Timestamp{TS: 5, CID: 1, Dev: 10}
+	if exactSuccessor(timebase.Exact(4), imprecise) || exactSuccessor(imprecise, timebase.Exact(6)) {
+		t.Error("imprecise timestamps must never qualify for the short cut")
+	}
+}
+
+// TestTL2CounterNoShortCut: the timestamp-sharing counter's GetNewTS may
+// return a shared value equal to rv+1 even though another transaction
+// committed in between, so a universe on it must not take the rv+1
+// validation short cut — and must therefore survive concurrent increments
+// without lost updates.
+func TestTL2CounterNoShortCut(t *testing.T) {
+	s := NewWithTimeBase(timebase.NewTL2Counter())
+	if s.exclusive {
+		t.Fatal("TL2Counter universe must not be marked exclusive: its shared timestamps break the rv+1 short cut")
+	}
+	o := NewObject(0)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.Thread(id)
+			for i := 0; i < per; i++ {
+				if err := th.Run(func(tx *Tx) error {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					return tx.Write(o, v.(int)+1)
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := readInt(t, s, o); got != workers*per {
+		t.Errorf("counter = %d, want %d (lost updates)", got, workers*per)
+	}
+}
+
+// TestExtSyncPairInvariant runs TL2 on the externally synchronized clock of
+// §3.2: the deviation-masking comparisons must preserve snapshot consistency
+// (a {n, −n} pair always sums to zero) even though versions are imprecise.
+func TestExtSyncPairInvariant(t *testing.T) {
+	const workers = 4
+	dev := hwclock.New(hwclock.Config{TickHz: 1_000_000_000, Nodes: workers, Seed: 1})
+	tb, err := timebase.NewExtSyncClockFrom(dev, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithTimeBase(tb)
+	a, b := NewObject(0), NewObject(0)
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.Thread(id)
+			for i := 1; i <= 200; i++ {
+				var err error
+				if id%2 == 0 {
+					n := id*1000 + i
+					err = th.Run(func(tx *Tx) error {
+						if err := tx.Write(a, n); err != nil {
+							return err
+						}
+						return tx.Write(b, -n)
+					})
+				} else {
+					err = th.RunReadOnly(func(tx *Tx) error {
+						av, err := tx.Read(a)
+						if err != nil {
+							return err
+						}
+						bv, err := tx.Read(b)
+						if err != nil {
+							return err
+						}
+						if av.(int)+bv.(int) != 0 {
+							t.Errorf("torn pair: %v/%v", av, bv)
+						}
+						return nil
+					})
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// TestFailedLockRetryCommits locks an object by hand so a transaction's
+// phase-1 try-lock aborts at least once, then releases it; the retry must
+// commit and install a fresh, later, unlocked version word.
+func TestFailedLockRetryCommits(t *testing.T) {
+	s := New()
+	o := NewObject(1)
+	before := o.meta.Load()
+	o.meta.Store(&verMeta{ver: before.ver, locked: true})
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Thread(0).Run(func(tx *Tx) error { return tx.Write(o, 2) })
+	}()
+	o.meta.Store(before)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	after := o.meta.Load()
+	if after.locked {
+		t.Error("object left locked after commit")
+	}
+	if after == before || !after.ver.LaterEq(before.ver) {
+		t.Error("commit did not install a fresh, later version word")
+	}
+	if got := readInt(t, s, o); got != 2 {
+		t.Errorf("value = %d, want 2", got)
 	}
 }
 

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+)
+
+// skipMaxLevel is the tower height ceiling. 2^12 expected elements per
+// bench run is far below the geometric distribution's reach at 12 levels.
+const skipMaxLevel = 12
+
+// skipNode is one element of the transactional skiplist. Like the linked
+// list's nodes, the value stored in a cell is immutable: splicing a level
+// replaces the whole node value. next[l] is nil above the node's height and
+// in the tail sentinel.
+type skipNode struct {
+	key  int
+	next [skipMaxLevel]engine.Cell
+}
+
+// skipHeight derives a node's tower height from its key, deterministically:
+// a re-inserted key always rebuilds the same tower, so the structure of the
+// index levels is a pure function of the current key set, independent of
+// insertion order or RNG state. The hash's trailing zeros give the usual
+// geometric distribution (p = 1/2).
+func skipHeight(key int) int {
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	lvl := 1
+	for lvl < skipMaxLevel && h&1 == 1 {
+		lvl++
+		h >>= 1
+	}
+	return lvl
+}
+
+// SkipList is an ordered integer set backed by a transactional skiplist —
+// the deep-pointer-structure workload. Operations descend the tower from the
+// top level, so every transaction reads a logarithmic chain of cells whose
+// upper levels are shared by almost all operations: unlike the linked list
+// (one long chain, conflicts anywhere) or the hash set (short transactions,
+// conflicts almost nowhere), the skiplist concentrates read-sharing on a few
+// hot index nodes while spreading writes across the bottom level.
+type SkipList struct {
+	// KeyRange is the key universe [0, KeyRange) (default 512).
+	KeyRange int
+	// UpdateRatio is the fraction of add/remove operations, split evenly
+	// (default 0.2; the rest are contains).
+	UpdateRatio float64
+	// InitialFill is the fraction of the key range pre-inserted (default
+	// 0.5).
+	InitialFill float64
+	// Seed seeds the per-worker RNGs.
+	Seed int64
+
+	eng  engine.Engine
+	head engine.Cell
+}
+
+// Name implements harness.Workload.
+func (s *SkipList) Name() string { return fmt.Sprintf("skiplist/%d", s.keyRange()) }
+
+func (s *SkipList) keyRange() int {
+	if s.KeyRange == 0 {
+		return 512
+	}
+	return s.KeyRange
+}
+
+func (s *SkipList) updateRatio() float64 {
+	if s.UpdateRatio == 0 {
+		return 0.2
+	}
+	return s.UpdateRatio
+}
+
+func (s *SkipList) initialFill() float64 {
+	if s.InitialFill == 0 {
+		return 0.5
+	}
+	return s.InitialFill
+}
+
+// Init implements harness.Workload: build head/tail sentinels (the head
+// tower spans every level) and pre-fill deterministically.
+func (s *SkipList) Init(eng engine.Engine, workers int) error {
+	if s.keyRange() < 1 {
+		return fmt.Errorf("workload: SkipList.KeyRange must be ≥ 1, got %d", s.KeyRange)
+	}
+	s.eng = eng
+	tail := eng.NewCell(skipNode{key: math.MaxInt})
+	head := skipNode{key: math.MinInt}
+	for l := 0; l < skipMaxLevel; l++ {
+		head.next[l] = tail
+	}
+	s.head = eng.NewCell(head)
+	th := eng.Thread(1 << 19)
+	rng := rand.New(rand.NewSource(s.Seed + 7))
+	for k := 0; k < s.keyRange(); k++ {
+		if rng.Float64() >= s.initialFill() {
+			continue
+		}
+		if _, err := s.Add(th, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step implements harness.Workload.
+func (s *SkipList) Step(eng engine.Engine, th engine.Thread, id int) func() error {
+	rng := rand.New(rand.NewSource(s.Seed + int64(id)*15485863 + 11))
+	return func() error {
+		key := rng.Intn(s.keyRange())
+		p := rng.Float64()
+		switch {
+		case p < s.updateRatio()/2:
+			_, err := s.Add(th, key)
+			return err
+		case p < s.updateRatio():
+			_, err := s.Remove(th, key)
+			return err
+		default:
+			_, err := s.Contains(th, key)
+			return err
+		}
+	}
+}
+
+// find descends the tower inside tx: preds[l] is the cell of the rightmost
+// node at level l whose key is < key, cur is the bottom-level node at or
+// after key.
+func (s *SkipList) find(tx engine.Txn, key int) (preds [skipMaxLevel]engine.Cell, cur skipNode, err error) {
+	cell := s.head
+	node, err := engine.Get[skipNode](tx, cell)
+	if err != nil {
+		return preds, skipNode{}, err
+	}
+	for l := skipMaxLevel - 1; l >= 0; l-- {
+		for {
+			nextCell := node.next[l]
+			next, err := engine.Get[skipNode](tx, nextCell)
+			if err != nil {
+				return preds, skipNode{}, err
+			}
+			if next.key >= key {
+				cur = next
+				break
+			}
+			cell, node = nextCell, next
+		}
+		preds[l] = cell
+	}
+	return preds, cur, nil
+}
+
+// Contains reports whether key is in the set (read-only transaction).
+func (s *SkipList) Contains(th engine.Thread, key int) (bool, error) {
+	var found bool
+	err := th.RunReadOnly(func(tx engine.Txn) error {
+		_, cur, err := s.find(tx, key)
+		if err != nil {
+			return err
+		}
+		found = cur.key == key
+		return nil
+	})
+	return found, err
+}
+
+// Add inserts key; it reports whether the set changed.
+func (s *SkipList) Add(th engine.Thread, key int) (bool, error) {
+	var added bool
+	err := th.Run(func(tx engine.Txn) error {
+		preds, cur, err := s.find(tx, key)
+		if err != nil {
+			return err
+		}
+		if cur.key == key {
+			added = false
+			return nil
+		}
+		height := skipHeight(key)
+		node := skipNode{key: key}
+		// Link the new tower level by level. Adjacent levels often share the
+		// predecessor cell; re-reading the predecessor through tx each time
+		// picks up this transaction's own earlier splice.
+		for l := 0; l < height; l++ {
+			pn, err := engine.Get[skipNode](tx, preds[l])
+			if err != nil {
+				return err
+			}
+			node.next[l] = pn.next[l]
+		}
+		cell := s.eng.NewCell(node)
+		for l := 0; l < height; l++ {
+			pn, err := engine.Get[skipNode](tx, preds[l])
+			if err != nil {
+				return err
+			}
+			pn.next[l] = cell
+			if err := tx.Write(preds[l], pn); err != nil {
+				return err
+			}
+		}
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Remove deletes key; it reports whether the set changed.
+func (s *SkipList) Remove(th engine.Thread, key int) (bool, error) {
+	var removed bool
+	err := th.Run(func(tx engine.Txn) error {
+		preds, cur, err := s.find(tx, key)
+		if err != nil {
+			return err
+		}
+		if cur.key != key {
+			removed = false
+			return nil
+		}
+		// The victim's cell is the bottom-level successor of preds[0]; its
+		// tower height is a function of the key, so exactly levels
+		// [0, height) point at it.
+		p0, err := engine.Get[skipNode](tx, preds[0])
+		if err != nil {
+			return err
+		}
+		victimCell := p0.next[0]
+		for l := 0; l < skipHeight(key); l++ {
+			pn, err := engine.Get[skipNode](tx, preds[l])
+			if err != nil {
+				return err
+			}
+			if pn.next[l] != victimCell {
+				return fmt.Errorf("workload: skiplist tower for key %d broken at level %d", key, l)
+			}
+			pn.next[l] = cur.next[l]
+			if err := tx.Write(preds[l], pn); err != nil {
+				return err
+			}
+		}
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// Snapshot returns the keys currently in the set, in order, via one
+// read-only transaction over the bottom level.
+func (s *SkipList) Snapshot(th engine.Thread) ([]int, error) {
+	var keys []int
+	err := th.RunReadOnly(func(tx engine.Txn) error {
+		keys = keys[:0]
+		node, err := engine.Get[skipNode](tx, s.head)
+		if err != nil {
+			return err
+		}
+		for node.next[0] != nil {
+			node, err = engine.Get[skipNode](tx, node.next[0])
+			if err != nil {
+				return err
+			}
+			if node.next[0] != nil { // skip the tail sentinel
+				keys = append(keys, node.key)
+			}
+		}
+		return nil
+	})
+	return keys, err
+}

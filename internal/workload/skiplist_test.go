@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestSkipHeightDistribution(t *testing.T) {
+	counts := make([]int, skipMaxLevel+1)
+	const n = 1 << 14
+	for k := 0; k < n; k++ {
+		h := skipHeight(k)
+		if h < 1 || h > skipMaxLevel {
+			t.Fatalf("skipHeight(%d) = %d, outside [1, %d]", k, h, skipMaxLevel)
+		}
+		counts[h]++
+		if h != skipHeight(k) {
+			t.Fatalf("skipHeight(%d) not deterministic", k)
+		}
+	}
+	// Roughly geometric: about half the keys stay at level 1, and towers
+	// above level 1 must exist at all (the index levels do something).
+	if counts[1] < n/3 || counts[1] > 2*n/3 {
+		t.Errorf("level-1 fraction %d/%d far from 1/2", counts[1], n)
+	}
+	tall := 0
+	for h := 2; h <= skipMaxLevel; h++ {
+		tall += counts[h]
+	}
+	if tall == 0 {
+		t.Error("no towers above level 1; index levels are dead")
+	}
+}
+
+func TestSkipListSequentialSemantics(t *testing.T) {
+	eng := newEng(t)
+	s := &SkipList{KeyRange: 64, InitialFill: -1}
+	if err := s.Init(eng, 1); err != nil {
+		t.Fatal(err)
+	}
+	th := eng.Thread(0)
+	model := map[int]bool{}
+	ops := []struct {
+		op  string
+		key int
+	}{
+		{"add", 5}, {"add", 3}, {"add", 9}, {"add", 5},
+		{"rm", 3}, {"rm", 3}, {"add", 1}, {"rm", 9}, {"add", 7},
+		{"add", 63}, {"add", 0}, {"rm", 5}, {"add", 5},
+	}
+	for i, op := range ops {
+		switch op.op {
+		case "add":
+			got, err := s.Add(th, op.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := !model[op.key]; got != want {
+				t.Errorf("op %d add(%d) = %v, want %v", i, op.key, got, want)
+			}
+			model[op.key] = true
+		case "rm":
+			got, err := s.Remove(th, op.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := model[op.key]; got != want {
+				t.Errorf("op %d remove(%d) = %v, want %v", i, op.key, got, want)
+			}
+			delete(model, op.key)
+		}
+		for k := 0; k < 10; k++ {
+			got, err := s.Contains(th, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != model[k] {
+				t.Errorf("op %d: contains(%d) = %v, want %v", i, k, got, model[k])
+			}
+		}
+	}
+	keys, err := s.Snapshot(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Errorf("snapshot not sorted: %v", keys)
+	}
+	if len(keys) != len(model) {
+		t.Errorf("snapshot size %d, want %d", len(keys), len(model))
+	}
+}
+
+// TestSkipListTowersConsistent fills a list and checks every index level
+// against the bottom level: each level must be a sorted subsequence of the
+// level below, and each key's tower height must match skipHeight.
+func TestSkipListTowersConsistent(t *testing.T) {
+	eng := newEng(t)
+	s := &SkipList{KeyRange: 256, InitialFill: 0.6, Seed: 5}
+	if err := s.Init(eng, 1); err != nil {
+		t.Fatal(err)
+	}
+	th := eng.Thread(0)
+	bottom, err := s.Snapshot(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := map[int]bool{}
+	for _, k := range bottom {
+		inSet[k] = true
+	}
+	for lvl := 0; lvl < skipMaxLevel; lvl++ {
+		var level []int
+		if err := th.RunReadOnly(func(tx engine.Txn) error {
+			level = level[:0]
+			node, err := engine.Get[skipNode](tx, s.head)
+			if err != nil {
+				return err
+			}
+			for node.next[lvl] != nil {
+				node, err = engine.Get[skipNode](tx, node.next[lvl])
+				if err != nil {
+					return err
+				}
+				if node.next[0] != nil { // not the tail sentinel
+					level = append(level, node.key)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !sort.IntsAreSorted(level) {
+			t.Fatalf("level %d not sorted: %v", lvl, level)
+		}
+		for _, k := range level {
+			if !inSet[k] {
+				t.Errorf("level %d holds key %d missing from bottom level", lvl, k)
+			}
+			if skipHeight(k) <= lvl {
+				t.Errorf("key %d (height %d) linked at level %d", k, skipHeight(k), lvl)
+			}
+		}
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	for _, mk := range []func(*testing.T) engine.Engine{newEng, newClockEng} {
+		eng := mk(t)
+		s := &SkipList{KeyRange: 64, UpdateRatio: 0.6, Seed: 11}
+		const workers, steps = 4, 150
+		if err := s.Init(eng, workers); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th := eng.Thread(id)
+				step := s.Step(eng, th, id)
+				for i := 0; i < steps; i++ {
+					if err := step(); err != nil {
+						t.Errorf("worker %d: %v", id, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		keys, err := s.Snapshot(eng.Thread(50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.IntsAreSorted(keys) {
+			t.Errorf("skiplist not sorted after concurrency: %v", keys)
+		}
+		seen := map[int]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Errorf("duplicate key %d", k)
+			}
+			seen[k] = true
+			if k < 0 || k >= 64 {
+				t.Errorf("key %d outside range", k)
+			}
+		}
+	}
+}
