@@ -1,0 +1,120 @@
+// Command benchcheck is the CI bench-smoke gate: it validates a JSON bench
+// snapshot produced by `lsabench -experiment bench -json`. The conformance
+// suite proves every engine correct under bounded iteration counts; what it
+// never exercises is the measured-interval path of the full matrix, where a
+// backend can wedge silently — workers spinning without a single commit —
+// and still exit zero. benchcheck fails loudly instead:
+//
+//	go run ./cmd/lsabench -experiment bench -duration 60ms -json /tmp/smoke.json
+//	go run ./cmd/benchcheck /tmp/smoke.json
+//
+// Checks, in order: the file parses as harness.Result records; every record
+// is well-formed and shows nonzero commits (harness.Result.Validate); every
+// registered engine appears (so a backend dropped from the matrix — or an
+// init that forgot Register on the bench binary's import graph — fails here
+// too); and every engine ran the same workload set. -require-engines can
+// relax the registry comparison to an explicit list.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"maps"
+	"os"
+	"slices"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+)
+
+func main() {
+	requireEngines := flag.String("require-engines", "", "comma-separated engine names that must appear (default: every registered engine)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcheck [-require-engines a,b] <bench.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	required := engine.Names()
+	if *requireEngines != "" {
+		required = nil
+		for _, n := range strings.Split(*requireEngines, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				required = append(required, n)
+			}
+		}
+	}
+	if errs := check(data, required); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchcheck:", e)
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %d problem(s)\n", flag.Arg(0), len(errs))
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %s ok (%d engines)\n", flag.Arg(0), len(required))
+}
+
+// check validates the snapshot bytes against the required engine set and
+// returns every problem found (not just the first: a wedged engine and a
+// missing one should both show up in the same CI run).
+func check(data []byte, requiredEngines []string) []error {
+	var results []harness.Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return []error{fmt.Errorf("malformed snapshot: %w", err)}
+	}
+	if len(results) == 0 {
+		return []error{fmt.Errorf("snapshot holds no records")}
+	}
+	var errs []error
+	workloadsByEngine := map[string]map[string]bool{}
+	for i, r := range results {
+		if err := r.Validate(); err != nil {
+			errs = append(errs, fmt.Errorf("record %d: %w", i, err))
+			continue
+		}
+		wl := workloadsByEngine[r.Engine]
+		if wl == nil {
+			wl = map[string]bool{}
+			workloadsByEngine[r.Engine] = wl
+		}
+		if wl[r.Workload] {
+			errs = append(errs, fmt.Errorf("record %d: duplicate %s/%s", i, r.Workload, r.Engine))
+		}
+		wl[r.Workload] = true
+	}
+	for _, name := range requiredEngines {
+		if len(workloadsByEngine[name]) == 0 {
+			errs = append(errs, fmt.Errorf("engine %q missing from the snapshot", name))
+		}
+	}
+	// Every engine must have run the same scenario set: a per-engine init
+	// failure that silently skips workloads would otherwise pass.
+	var ref string
+	var refSet map[string]bool
+	for _, name := range slices.Sorted(maps.Keys(workloadsByEngine)) {
+		wl := workloadsByEngine[name]
+		if refSet == nil {
+			ref, refSet = name, wl
+			continue
+		}
+		if !maps.Equal(wl, refSet) {
+			errs = append(errs, fmt.Errorf("engine %q ran workloads %v, but %q ran %v",
+				name, slices.Sorted(maps.Keys(wl)), ref, slices.Sorted(maps.Keys(refSet))))
+		}
+	}
+	return errs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+)
+
+func record(eng, wl string, commits uint64) harness.Result {
+	return harness.Result{
+		Workload:   wl,
+		Engine:     eng,
+		Workers:    4,
+		Elapsed:    50 * time.Millisecond,
+		Txs:        commits,
+		Throughput: float64(commits) / 0.05,
+		Stats:      engine.Stats{Commits: commits},
+	}
+}
+
+func marshal(t *testing.T, rs []harness.Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckAcceptsHealthySnapshot(t *testing.T) {
+	rs := []harness.Result{
+		record("tl2", "bank/64", 100), record("tl2", "intset/128", 90),
+		record("lsa/shared", "bank/64", 80), record("lsa/shared", "intset/128", 70),
+	}
+	if errs := check(marshal(t, rs), []string{"tl2", "lsa/shared"}); len(errs) != 0 {
+		t.Fatalf("healthy snapshot rejected: %v", errs)
+	}
+}
+
+func TestCheckRejectsMalformedJSON(t *testing.T) {
+	if errs := check([]byte("{not json"), nil); len(errs) != 1 {
+		t.Fatalf("malformed JSON: got %v", errs)
+	}
+	if errs := check([]byte("[]"), nil); len(errs) != 1 || !strings.Contains(errs[0].Error(), "no records") {
+		t.Fatalf("empty snapshot: got %v", errs)
+	}
+}
+
+func TestCheckRejectsZeroCommits(t *testing.T) {
+	rs := []harness.Result{record("tl2", "bank/64", 100), record("glock", "bank/64", 0)}
+	errs := check(marshal(t, rs), []string{"tl2", "glock"})
+	joined := errsString(errs)
+	if !strings.Contains(joined, "zero commits") {
+		t.Fatalf("wedged engine not reported: %v", errs)
+	}
+	// The zero-commit record is invalid, so glock must also count as missing.
+	if !strings.Contains(joined, `engine "glock" missing`) {
+		t.Fatalf("invalid record still satisfied the engine requirement: %v", errs)
+	}
+}
+
+func TestCheckRejectsMissingEngine(t *testing.T) {
+	rs := []harness.Result{record("tl2", "bank/64", 10)}
+	errs := check(marshal(t, rs), []string{"tl2", "norec"})
+	if !strings.Contains(errsString(errs), `engine "norec" missing`) {
+		t.Fatalf("missing engine not reported: %v", errs)
+	}
+}
+
+func TestCheckRejectsUnevenWorkloadSets(t *testing.T) {
+	rs := []harness.Result{
+		record("tl2", "bank/64", 10), record("tl2", "intset/128", 10),
+		record("glock", "bank/64", 10),
+	}
+	errs := check(marshal(t, rs), []string{"tl2", "glock"})
+	if !strings.Contains(errsString(errs), "ran workloads") {
+		t.Fatalf("uneven workload sets not reported: %v", errs)
+	}
+}
+
+func TestCheckRejectsDuplicates(t *testing.T) {
+	rs := []harness.Result{record("tl2", "bank/64", 10), record("tl2", "bank/64", 12)}
+	errs := check(marshal(t, rs), []string{"tl2"})
+	if !strings.Contains(errsString(errs), "duplicate") {
+		t.Fatalf("duplicate record not reported: %v", errs)
+	}
+}
+
+// TestCheckAgainstRealBenchRun drives the actual bench pipeline end to end
+// on two engines with a tiny interval — the same path the CI bench-smoke
+// job gates, minus the full registry sweep.
+func TestCheckAgainstRealBenchRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured-interval run")
+	}
+	var results []harness.Result
+	for _, name := range []string{"tl2", "lsa/sharded"} {
+		for _, mk := range []func() harness.Workload{
+			func() harness.Workload { return &benchBank{} },
+		} {
+			eng := engine.MustNew(name, engine.Options{Nodes: 2})
+			r, err := harness.Run(eng, mk(), harness.Options{Workers: 2, Duration: 30 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	if errs := check(marshal(t, results), []string{"tl2", "lsa/sharded"}); len(errs) != 0 {
+		t.Fatalf("real bench run rejected: %v", errs)
+	}
+}
+
+// benchBank is a minimal in-test workload: one hot counter cell.
+type benchBank struct{ c engine.Cell }
+
+func (b *benchBank) Name() string { return "counter" }
+func (b *benchBank) Init(eng engine.Engine, workers int) error {
+	b.c = eng.NewCell(0)
+	return nil
+}
+func (b *benchBank) Step(eng engine.Engine, th engine.Thread, id int) func() error {
+	return func() error {
+		return th.Run(func(tx engine.Txn) error {
+			return engine.Update(tx, b.c, func(v int) int { return v + 1 })
+		})
+	}
+}
+
+func errsString(errs []error) string {
+	var sb strings.Builder
+	for _, e := range errs {
+		sb.WriteString(e.Error())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -194,6 +194,7 @@ func benchWorkloads() []harness.Workload {
 		&workload.IntSet{KeyRange: 128, Seed: 1},
 		&workload.HashSet{Buckets: 64, Seed: 1},
 		&workload.SkipList{KeyRange: 512, Seed: 1},
+		&workload.SlotQueue{Groups: 8, SlotsPerGroup: 16, Seed: 1},
 		&workload.Disjoint{Accesses: 10},
 	}
 }

@@ -20,7 +20,7 @@ import (
 const confWorkers = 4
 
 // confIters scales a per-worker iteration count down in -short mode: the CI
-// cross-engine job runs the whole suite × 11 engines under the race
+// cross-engine job runs the whole suite × 13 engines under the race
 // detector, where full iteration counts cost minutes without adding
 // coverage beyond what the long mode already proves.
 func confIters(t *testing.T, n int) int {
@@ -181,6 +181,100 @@ func TestConformanceIntSet(t *testing.T) {
 				seen[k] = true
 			}
 		})
+	}
+}
+
+// TestConformanceQueues runs both bounded-FIFO variants — the plain
+// two-cursor Queue and the per-slot-cursor SlotQueue — concurrently on
+// every backend and checks element conservation: pushes that reported ok
+// minus pops that reported ok must equal the surviving queue length, and
+// the length must fit the capacity. The queue transactions mix two hot
+// cursor cells (or many cooler ones) with mostly cold slots, a shape the
+// other conformance workloads do not exercise.
+func TestConformanceQueues(t *testing.T) {
+	type (
+		pushFn   = func(th engine.Thread, v, hint int) (bool, error)
+		popFn    = func(th engine.Thread, hint int) (int, bool, error)
+		lengthFn = func(th engine.Thread) (int, error)
+	)
+	type queueOps struct {
+		name string
+		cap  int // total capacity, derived from the workload parameters
+		init func(eng engine.Engine) (pushFn, popFn, lengthFn, error)
+	}
+	const capacity, groups, perGroup = 8, 4, 2
+	variants := []queueOps{
+		{
+			name: "queue", cap: capacity,
+			init: func(eng engine.Engine) (pushFn, popFn, lengthFn, error) {
+				q := &workload.Queue{Capacity: capacity, Seed: 7}
+				err := q.Init(eng, confWorkers)
+				return func(th engine.Thread, v, _ int) (bool, error) { return q.Push(th, v) },
+					func(th engine.Thread, _ int) (int, bool, error) { return q.Pop(th) },
+					q.Len, err
+			},
+		},
+		{
+			name: "slotqueue", cap: groups * perGroup,
+			init: func(eng engine.Engine) (pushFn, popFn, lengthFn, error) {
+				q := &workload.SlotQueue{Groups: groups, SlotsPerGroup: perGroup, Seed: 7}
+				err := q.Init(eng, confWorkers)
+				return q.Push, q.Pop, q.Len, err
+			},
+		},
+	}
+	for _, variant := range variants {
+		for _, name := range engine.Names() {
+			t.Run(variant.name+"/"+name, func(t *testing.T) {
+				eng := engine.MustNew(name, engine.Options{Nodes: confWorkers})
+				push, pop, length, err := variant.init(eng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var pushed, popped atomic.Int64
+				var wg sync.WaitGroup
+				for id := 0; id < confWorkers; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						th := eng.Thread(id)
+						for i := 0; i < confIters(t, 200); i++ {
+							if id%2 == 0 {
+								ok, err := push(th, id*1000+i, id+i)
+								if err != nil {
+									t.Errorf("worker %d push: %v", id, err)
+									return
+								}
+								if ok {
+									pushed.Add(1)
+								}
+							} else {
+								_, ok, err := pop(th, id+i)
+								if err != nil {
+									t.Errorf("worker %d pop: %v", id, err)
+									return
+								}
+								if ok {
+									popped.Add(1)
+								}
+							}
+						}
+					}(id)
+				}
+				wg.Wait()
+				remaining, err := length(eng.Thread(confWorkers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int(pushed.Load()) != int(popped.Load())+remaining {
+					t.Errorf("conservation broken: pushed %d, popped %d, remaining %d",
+						pushed.Load(), popped.Load(), remaining)
+				}
+				if remaining < 0 || remaining > variant.cap {
+					t.Errorf("remaining %d outside [0,%d]", remaining, variant.cap)
+				}
+			})
+		}
 	}
 }
 

@@ -8,8 +8,9 @@ import (
 func TestRegistryNames(t *testing.T) {
 	names := Names()
 	for _, want := range []string{
-		"lsa/shared", "lsa/tl2ts", "lsa/mmtimer", "lsa/ideal", "lsa/extsync",
-		"tl2", "tl2/extsync", "wordstm", "rstmval", "norec", "glock",
+		"lsa/shared", "lsa/tl2ts", "lsa/sharded", "lsa/mmtimer", "lsa/ideal",
+		"lsa/extsync", "tl2", "tl2/extsync", "tl2/sharded", "wordstm",
+		"rstmval", "norec", "glock",
 	} {
 		found := false
 		for _, n := range names {
@@ -33,7 +34,7 @@ func TestRegistryNames(t *testing.T) {
 // -short: a backend whose init forgot to Register (or a registry refactor
 // that drops one) fails the build here, not in a bench someone runs later.
 func TestRegisteredEngineCount(t *testing.T) {
-	const floor = 11
+	const floor = 13
 	if names := Names(); len(names) < floor {
 		t.Fatalf("only %d engines registered, want ≥ %d: %v", len(names), floor, names)
 	}

@@ -12,15 +12,19 @@ import (
 // The LSA backends: the multi-version object-based core under each of the
 // paper's time bases. "lsa/shared" is the classic shared-counter LSA,
 // "lsa/tl2ts" adds TL2's commit-timestamp sharing to the counter,
-// "lsa/mmtimer" and "lsa/ideal" are perfectly synchronized hardware clocks,
-// and "lsa/extsync" is the externally synchronized clock with a bounded,
-// masked deviation.
+// "lsa/sharded" runs on per-shard counters with lazy cross-shard
+// synchronization (the scalable software counter), "lsa/mmtimer" and
+// "lsa/ideal" are perfectly synchronized hardware clocks, and "lsa/extsync"
+// is the externally synchronized clock with a bounded, masked deviation.
 func init() {
 	Register("lsa/shared", func(o Options) (Engine, error) {
 		return newLSA("lsa/shared", timebase.NewSharedCounter(), o)
 	})
 	Register("lsa/tl2ts", func(o Options) (Engine, error) {
 		return newLSA("lsa/tl2ts", timebase.NewTL2Counter(), o)
+	})
+	Register("lsa/sharded", func(o Options) (Engine, error) {
+		return newLSA("lsa/sharded", timebase.NewShardedCounter(o.Nodes, o.ShardWindow), o)
 	})
 	Register("lsa/mmtimer", func(o Options) (Engine, error) {
 		return newLSA("lsa/mmtimer", timebase.NewMMTimer(o.Nodes), o)

@@ -20,6 +20,12 @@ type Options struct {
 	// Deviation is the advertised clock deviation bound in ticks for
 	// "lsa/extsync" (1 GHz device, so ticks are nanoseconds). Default 2000.
 	Deviation int64
+	// ShardWindow is the epoch window (in ticks) a shard of the sharded
+	// counter time base may run ahead of the shared epoch base, for the
+	// "*/sharded" backends. 0 selects timebase.DefaultShardWindow. Larger
+	// windows write the shared epoch line less often but widen the masked
+	// uncertainty gap (more aborts on freshly written hot objects).
+	ShardWindow int64
 	// Words is the transactional memory size of the word-based backend.
 	// Default 1<<20. Dynamic cell allocation (e.g. linked-list inserts)
 	// consumes words permanently, so size generously for long runs.

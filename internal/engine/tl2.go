@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/timebase"
 	"repro/internal/tl2"
 )
 
@@ -17,6 +18,12 @@ import (
 // serves an older version from history, single-version TL2 can only abort —
 // the throughput gap between "tl2/extsync" and "lsa/extsync" is the Fig. 2
 // question asked from the other side.
+//
+// The "tl2/sharded" backend runs the same algorithm on the sharded software
+// counter (per-shard epochs, lazy cross-shard synchronization): commits bump
+// an uncontended shard instead of the global version clock, at the price of
+// a masked uncertainty window that — with no version history to fall back
+// to — turns into aborts on freshly written objects.
 func init() {
 	Register("tl2", func(o Options) (Engine, error) {
 		return &tl2Engine{name: "tl2", stm: tl2.New()}, nil
@@ -27,6 +34,10 @@ func init() {
 			return nil, err
 		}
 		return &tl2Engine{name: "tl2/extsync", stm: tl2.NewWithTimeBase(tb)}, nil
+	})
+	Register("tl2/sharded", func(o Options) (Engine, error) {
+		tb := timebase.NewShardedCounter(o.Nodes, o.ShardWindow)
+		return &tl2Engine{name: "tl2/sharded", stm: tl2.NewWithTimeBase(tb)}, nil
 	})
 }
 

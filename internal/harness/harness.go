@@ -64,6 +64,33 @@ func (r Result) String() string {
 		r.Workload, r.Engine, r.Workers, r.Throughput, r.Stats.AbortRate())
 }
 
+// Validate reports whether the result is a well-formed record of a run that
+// actually made progress. It is the record-level half of the bench-smoke
+// gate (cmd/benchcheck): an engine that silently wedges under the full
+// matrix — workers spinning without committing, or a run so broken the
+// fields never got filled in — produces a record this rejects, which `go
+// test` never notices because the conformance suite drives every engine
+// with bounded iteration counts instead of a measured interval.
+func (r Result) Validate() error {
+	switch {
+	case r.Engine == "":
+		return fmt.Errorf("harness: result without engine name: %+v", r)
+	case r.Workload == "":
+		return fmt.Errorf("harness: result without workload name: %+v", r)
+	case r.Workers < 1:
+		return fmt.Errorf("harness: %s/%s: workers = %d", r.Workload, r.Engine, r.Workers)
+	case r.Elapsed <= 0:
+		return fmt.Errorf("harness: %s/%s: non-positive measured interval %v", r.Workload, r.Engine, r.Elapsed)
+	case r.Stats.Commits == 0:
+		return fmt.Errorf("harness: %s/%s: zero commits over the whole run (engine wedged?)", r.Workload, r.Engine)
+	case r.Txs == 0:
+		return fmt.Errorf("harness: %s/%s: zero transactions inside the measured interval", r.Workload, r.Engine)
+	case r.Throughput <= 0:
+		return fmt.Errorf("harness: %s/%s: non-positive throughput %f with %d txs", r.Workload, r.Engine, r.Throughput, r.Txs)
+	}
+	return nil
+}
+
 // padCounter is a per-worker committed-transaction counter on its own cache
 // line, so counting does not perturb the contention under study.
 type padCounter struct {

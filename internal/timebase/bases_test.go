@@ -19,6 +19,7 @@ func allBases(t *testing.T) []TimeBase {
 	return []TimeBase{
 		NewSharedCounter(),
 		NewTL2Counter(),
+		NewShardedCounter(4, 16),
 		NewPerfectClock(hwclock.New(hwclock.IdealConfig(4))),
 		ext,
 	}

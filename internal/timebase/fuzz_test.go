@@ -2,6 +2,64 @@ package timebase
 
 import "testing"
 
+// FuzzShardedCounterOrdering drives a ShardedCounter with an arbitrary
+// sequential interleaving of GetNewTS/GetTime/Reconcile calls across several
+// handles and checks the ordering contract the STM relies on: a GetNewTS
+// value issued earlier is never guaranteed-later (⪰) than one issued
+// afterwards — neither within a shard (exact comparison) nor across shards
+// (masked comparison) — and values stay unique as (shard, epoch) pairs.
+func FuzzShardedCounterOrdering(f *testing.F) {
+	f.Add(uint8(2), uint8(4), []byte{0, 1, 2, 3, 0, 0, 1, 2})
+	f.Add(uint8(4), uint8(16), []byte{3, 3, 3, 0, 7, 7, 7, 1, 11, 11, 2})
+	f.Add(uint8(1), uint8(0), []byte{0, 4, 8, 0, 4, 8})
+	f.Fuzz(func(t *testing.T, nshards, window uint8, ops []byte) {
+		shards := int(nshards%8) + 1
+		sc := NewShardedCounter(shards, int64(window))
+		clocks := make([]Clock, 2*shards) // two handles per shard
+		for i := range clocks {
+			clocks[i] = sc.Clock(i)
+		}
+		type issued struct {
+			ts Timestamp
+			op int
+		}
+		var news []issued
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		for i, b := range ops {
+			c := clocks[int(b>>2)%len(clocks)]
+			switch b & 3 {
+			case 0, 1:
+				news = append(news, issued{c.GetNewTS(), i})
+			case 2:
+				ts := c.GetTime()
+				if !ts.LaterEq(Zero) {
+					t.Fatalf("op %d: GetTime %v not ⪰ Zero", i, ts)
+				}
+			case 3:
+				c.(Reconciler).Reconcile()
+			}
+		}
+		seen := make(map[Timestamp]int, len(news))
+		for i, n := range news {
+			if j, dup := seen[n.ts]; dup {
+				t.Fatalf("ops %d and %d issued the same (shard, epoch) pair %v",
+					news[j].op, n.op, n.ts)
+			}
+			seen[n.ts] = i
+			// No earlier GetNewTS may be guaranteed-later than a later one:
+			// that would let a commit time order before an older commit.
+			for _, earlier := range news[:i] {
+				if earlier.ts.LaterEq(n.ts) {
+					t.Fatalf("op %d issued %v ⪰ later op %d's %v",
+						earlier.op, earlier.ts, n.op, n.ts)
+				}
+			}
+		}
+	})
+}
+
 // FuzzComparatorInvariants drives the ⪰/≿/Max/Min operators with arbitrary
 // timestamp pairs and checks the invariants that hold at the operator level
 // regardless of hidden real times. Deviations are normalized per clock ID

@@ -1,0 +1,218 @@
+package timebase
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultShardWindow is the default epoch window of NewShardedCounter, in
+// ticks. Larger windows touch the shared epoch base less often (better
+// commit scaling) but widen the masked uncertainty gap 2·dev = window, which
+// ages freshly committed versions more aggressively (more aborts on hot,
+// recently written objects).
+const DefaultShardWindow = 32
+
+// ShardedCounter is the scalable counter time base the paper's §1.2 analysis
+// asks for: instead of one integer whose cache line every commit invalidates
+// system-wide, time is kept in N cache-line-padded per-shard counters.
+// GetNewTS bumps only the caller's shard — an uncontended fetch-and-add for
+// workers on distinct shards — and the shards are lazily synchronized
+// through a shared epoch base that is written only once per window/2 commits
+// of the leading shard, not once per commit.
+//
+// Soundness comes from mapping the construction onto the paper's externally
+// synchronized clock framework (§3.2) with the epoch base playing the role
+// of real time: every timestamp a shard issues lies within [base, base+window]
+// at the moment of issue (GetNewTS lifts a stale shard above the base and
+// pushes the base up when the shard runs more than a window ahead), and the
+// base is monotone. Two issued values more than window apart are therefore
+// strictly ordered by base history, so timestamps carry Dev = window/2 and
+// the masked ⪰ operators of Algorithm 5 order them exactly like clocks with
+// bounded deviation: same-shard comparisons are exact (CID = 1+shard),
+// cross-shard comparisons mask ±window/2.
+//
+// The lazy part: GetTime reads the local shard plus the read-mostly epoch
+// line (for the window clamp) and writes nothing shared, so a shard that
+// has not committed recently serves deliberately stale snapshots. Consistency is unaffected (reads at an old snapshot are still
+// consistent, and update transactions revalidate at a fresh commit
+// timestamp), but a stale or conflict-stuck thread makes no progress against
+// fresh versions; Reconcile is the repair hook: it takes the max across all
+// shards, advances it by one tick, and installs it as the local view. STM
+// retry loops call it after an abort caused by a failed read-set validation,
+// which both refreshes the local view and — because reconciliation itself
+// ticks the clock — guarantees that repeated validation failures eventually
+// age any fixed version past the masked window ("mostly-local clock,
+// globally reconciled on conflict").
+type ShardedCounter struct {
+	shards []shard
+	window int64 // even; issued values stay within [base, base+window]
+	dev    int64 // window/2: the advertised deviation of issued timestamps
+
+	_    [64]byte
+	base atomic.Int64 // shared epoch base; read on commit, written ~2/window per commit
+	_    [64]byte
+}
+
+// shard is one padded counter. Padding on both sides keeps neighbouring
+// shards (and the epoch base) off each other's cache lines, which is the
+// whole point of sharding the time base.
+type shard struct {
+	_ [64]byte
+	c atomic.Int64
+	_ [64]byte
+}
+
+// NewShardedCounter returns a sharded time base with the given number of
+// shards (thread ids are taken modulo shards) and epoch window in ticks.
+// shards < 1 is clamped to 1 (degenerating to a plain, exact-per-shard
+// counter); window < 2 selects DefaultShardWindow, and odd windows are
+// rounded up so the advertised deviation window/2 stays conservative.
+func NewShardedCounter(shards int, window int64) *ShardedCounter {
+	if shards < 1 {
+		shards = 1
+	}
+	if window < 2 {
+		window = DefaultShardWindow
+	}
+	window += window & 1
+	sc := &ShardedCounter{
+		shards: make([]shard, shards),
+		window: window,
+		dev:    window / 2,
+	}
+	// Start above the window so every issued timestamp is ⪰ the Zero
+	// sentinel even under full cross-shard masking.
+	sc.base.Store(window + 1)
+	for i := range sc.shards {
+		sc.shards[i].c.Store(window + 1)
+	}
+	return sc
+}
+
+// Clock implements TimeBase. Handles for ids mapping to the same shard share
+// that shard's counter word, exactly like threads sharing a node clock.
+func (sc *ShardedCounter) Clock(id int) Clock {
+	s := id % len(sc.shards)
+	return &shardClock{sc: sc, sh: &sc.shards[s], cid: int32(1 + s)}
+}
+
+// Name implements TimeBase.
+func (sc *ShardedCounter) Name() string {
+	return fmt.Sprintf("Sharded(%d, w=%d)", len(sc.shards), sc.window)
+}
+
+// Shards returns the shard count.
+func (sc *ShardedCounter) Shards() int { return len(sc.shards) }
+
+// Window returns the epoch window in ticks.
+func (sc *ShardedCounter) Window() int64 { return sc.window }
+
+// Base exposes the shared epoch base for tests.
+func (sc *ShardedCounter) Base() int64 { return sc.base.Load() }
+
+// Now returns the maximum value across all shards (the freshest view any
+// reconciled clock could obtain), for tests and diagnostics.
+func (sc *ShardedCounter) Now() int64 {
+	m := sc.base.Load()
+	for i := range sc.shards {
+		if v := sc.shards[i].c.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+type shardClock struct {
+	sc  *ShardedCounter
+	sh  *shard
+	cid int32
+}
+
+// GetTime reads the local shard and clamps it to base+window. The clamp
+// closes a soundness hole: a concurrent same-shard GetNewTS publishes its
+// incremented counter value before it has raised the base, and several
+// stacked increments can push the shard arbitrarily far past base+window —
+// a reading from that gap would order, under masking, ahead of timestamps
+// other shards issue later. Clamped readings always satisfy the window
+// invariant at the moment of the read. The base load stays cheap: the line
+// is written only once per window/2 commits of the leading shard, so it is
+// read-mostly and cached everywhere — the contended word of SharedCounter
+// was hot because of the per-commit writes, not the reads. Stale values
+// (below base) are returned as-is; claiming an older reading is always
+// conservative, and the Reconcile repair path bounds how stale a view gets.
+func (c *shardClock) GetTime() Timestamp {
+	v := c.sh.c.Load()
+	if lim := c.sc.base.Load() + c.sc.window; v > lim {
+		v = lim
+	}
+	return Timestamp{TS: v, CID: c.cid, Dev: c.sc.dev}
+}
+
+// GetNewTS bumps the local shard and maintains the epoch invariant: the
+// issued value is strictly above the base observed during the call, and the
+// base ends up within a window of the issued value. The base write happens
+// only when the shard has run half a window ahead, so the shared line is
+// written once per window/2 commits of the leading shard instead of once per
+// commit — that ratio is the scalability headline of this time base.
+func (c *shardClock) GetNewTS() Timestamp {
+	sc := c.sc
+	v := c.sh.c.Add(1)
+	b := sc.base.Load()
+	if v <= b {
+		// Stale shard: jump past the epoch base so the new timestamp is
+		// never ordered before values already issued elsewhere. Without
+		// this lift the masked ⪰ comparison would be unsound.
+		v = c.sh.lift(b + 1)
+	}
+	if v-b > sc.window {
+		// Advance the base in half-window chunks: the invariant only needs
+		// base ≥ v−window, but leaving slack means the next window/2
+		// commits of this shard touch no shared line at all.
+		atomicMax(&sc.base, v-sc.dev)
+	}
+	return Timestamp{TS: v, CID: c.cid, Dev: sc.dev}
+}
+
+// Reconcile implements Reconciler: it synchronizes the local shard with the
+// freshest value across all shards and advances the clock by one tick, so a
+// thread whose validations keep failing against its stale local view both
+// catches up and ages the offending versions. Reports whether the local
+// shard moved.
+func (c *shardClock) Reconcile() bool {
+	sc := c.sc
+	m := sc.Now() + 1
+	// Raise the base before publishing the lifted shard value, so the
+	// window invariant (shard ≤ base+window) holds at every intermediate
+	// point and concurrent GetTime readers never need their clamp here.
+	atomicMax(&sc.base, m-sc.window)
+	return atomicMax(&c.sh.c, m)
+}
+
+// lift raises the shard counter to at least target and returns a value not
+// previously issued on this shard. Every return value is the result of an
+// atomic read-modify-write that strictly increased the counter, so values
+// issued on one shard are unique even when threads sharing the shard race.
+func (s *shard) lift(target int64) int64 {
+	for {
+		cur := s.c.Load()
+		if cur >= target {
+			return s.c.Add(1)
+		}
+		if s.c.CompareAndSwap(cur, target) {
+			return target
+		}
+	}
+}
+
+// atomicMax raises a to at least v, reporting whether it advanced.
+func atomicMax(a *atomic.Int64, v int64) bool {
+	for {
+		cur := a.Load()
+		if cur >= v {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}

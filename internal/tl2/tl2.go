@@ -264,5 +264,14 @@ func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}
+		// TL2 aborts whenever a version is possibly newer than rv; on time
+		// bases with a stale local view (timebase.ShardedCounter) that can
+		// simply mean this thread's shard is behind. Reconcile so the next
+		// attempt reads a fresh rv — and, because reconciliation ticks the
+		// clock, so that a fixed version eventually ages past the masked
+		// deviation window.
+		if r, ok := t.clock.(timebase.Reconciler); ok {
+			r.Reconcile()
+		}
 	}
 }

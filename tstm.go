@@ -90,6 +90,23 @@ func WithTL2Counter() Option {
 	}
 }
 
+// WithShardedCounter selects the sharded software counter time base:
+// per-shard cache-line-padded counters (thread ids map to shards modulo
+// shards) lazily synchronized through a shared epoch base that commits touch
+// only once per window/2 ticks. Scales commits like a hardware clock without
+// needing one; timestamps carry a masked deviation of window/2 ticks, so
+// freshly committed versions look "possibly concurrent" for one window.
+// window < 2 selects the default window.
+func WithShardedCounter(shards int, window int64) Option {
+	return func(c *config) error {
+		if shards <= 0 {
+			return fmt.Errorf("tstm: WithShardedCounter shards must be positive, got %d", shards)
+		}
+		c.tb = timebase.NewShardedCounter(shards, window)
+		return nil
+	}
+}
+
 // WithMMTimer selects a simulated perfectly synchronized hardware clock
 // with the MMTimer's parameters (20 MHz, 7-tick read latency) and one
 // register per worker node.

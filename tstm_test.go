@@ -11,6 +11,7 @@ func allRuntimes(t *testing.T) map[string]*Runtime {
 	return map[string]*Runtime{
 		"counter":  MustNew(WithSharedCounter()),
 		"tl2":      MustNew(WithTL2Counter()),
+		"sharded":  MustNew(WithShardedCounter(8, 0)),
 		"ideal":    MustNew(WithIdealClock(8)),
 		"extsync":  MustNew(WithExtSyncClocks(8, 1000)),
 		"mmtimer":  MustNew(WithMMTimer(8)),
@@ -206,6 +207,7 @@ func TestOptionValidation(t *testing.T) {
 	}{
 		{"bad manager", []Option{WithContentionManager("nope")}},
 		{"zero nodes mmtimer", []Option{WithMMTimer(0)}},
+		{"zero shards", []Option{WithShardedCounter(0, 0)}},
 		{"zero nodes ideal", []Option{WithIdealClock(0)}},
 		{"zero nodes extsync", []Option{WithExtSyncClocks(0, 10)}},
 		{"negative offset", []Option{WithExtSyncClocks(2, -1)}},
