@@ -127,6 +127,42 @@ func BenchmarkEngineMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkSmallTxAllocs tracks the per-commit allocation cost of the
+// small-transaction fast paths on the engines whose hot paths are hand-tuned
+// to be allocation-lean (run with -benchmem; the allocs/op column is the
+// contract). Single worker on purpose: allocs/op then is exactly
+// allocations per committed transaction, with no concurrent-abort noise.
+// The same budgets are locked in by the TestAllocBudget tests in
+// internal/core, internal/norec and internal/tl2; this benchmark is the
+// place to see the bytes and the trend across PRs.
+func BenchmarkSmallTxAllocs(b *testing.B) {
+	workloads := func() []harness.Workload {
+		return []harness.Workload{
+			&workload.Bank{Accounts: 64, Seed: 1},
+			&workload.IntSet{KeyRange: 128, Seed: 1},
+		}
+	}
+	for _, name := range []string{"lsa/shared", "norec", "tl2"} {
+		for _, w := range workloads() {
+			b.Run(name+"/"+w.Name(), func(b *testing.B) {
+				eng := engine.MustNew(name, engine.Options{Nodes: 1})
+				if err := w.Init(eng, 1); err != nil {
+					b.Fatal(err)
+				}
+				th := eng.Thread(0)
+				step := w.Step(eng, th, 0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkReadSetIndex measures the access-set lookup paths. Each
 // transaction reads n distinct objects (n access-set entries — note a
 // read-modify-write would add two entries per object) and then re-reads

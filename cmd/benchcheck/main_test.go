@@ -12,13 +12,15 @@ import (
 
 func record(eng, wl string, commits uint64) harness.Result {
 	return harness.Result{
-		Workload:   wl,
-		Engine:     eng,
-		Workers:    4,
-		Elapsed:    50 * time.Millisecond,
-		Txs:        commits,
-		Throughput: float64(commits) / 0.05,
-		Stats:      engine.Stats{Commits: commits},
+		Workload:        wl,
+		Engine:          eng,
+		Workers:         4,
+		Elapsed:         50 * time.Millisecond,
+		Txs:             commits,
+		Throughput:      float64(commits) / 0.05,
+		AllocsPerCommit: 12.5,
+		BytesPerCommit:  800,
+		Stats:           engine.Stats{Commits: commits},
 	}
 }
 
@@ -60,6 +62,21 @@ func TestCheckRejectsZeroCommits(t *testing.T) {
 	// The zero-commit record is invalid, so glock must also count as missing.
 	if !strings.Contains(joined, `engine "glock" missing`) {
 		t.Fatalf("invalid record still satisfied the engine requirement: %v", errs)
+	}
+}
+
+// TestCheckRejectsMissingAllocTelemetry pins the snapshot-format ratchet: a
+// record without the allocs/bytes-per-commit fields (e.g. regenerated with a
+// pre-telemetry lsabench, or hand-stripped) must fail the gate, so the
+// checked-in BENCH_engines.json can never silently lose its GC-pressure
+// axis.
+func TestCheckRejectsMissingAllocTelemetry(t *testing.T) {
+	r := record("tl2", "bank/64", 100)
+	r.AllocsPerCommit = 0
+	r.BytesPerCommit = 0
+	errs := check(marshal(t, []harness.Result{r}), []string{"tl2"})
+	if !strings.Contains(errsString(errs), "missing alloc telemetry") {
+		t.Fatalf("alloc-less record not reported: %v", errs)
 	}
 }
 

@@ -1,0 +1,83 @@
+package core
+
+// Allocation budgets for the small-transaction fast paths. These are the
+// ratchet behind the -benchmem trend in the repo-root BenchmarkSmallTxAllocs:
+// a regression that reintroduces per-attempt allocations (entry-slice growth,
+// per-write version/locator nodes, the commit-timestamp box, per-supersession
+// Timestamp boxes) fails here deterministically instead of drifting in a
+// bench snapshot.
+//
+// Budget accounting on the current fast path:
+//
+//   - read-only, ≤smallAccessSet reads: 1 — the per-attempt Tx itself, which
+//     embeds the inline entry array. The Tx cannot be reused across attempts
+//     (helpers may validate a frozen access set), so 1 is the floor for the
+//     current design.
+//   - update, 2 read-modify-writes: 3 — the Tx, plus the two committed-head
+//     version nodes built when the *next* attempt settles the previous
+//     commit's locators (settling is lazy, so in a steady-state loop each
+//     run pays the previous run's supersessions; each costs exactly one
+//     node: the locator and the predecessor's fixed upper bound are embedded
+//     in it).
+//
+// Values written stay in [0,255] so the runtime's small-int interface cache
+// keeps payload boxing out of the count — the budgets measure the engine,
+// not the workload's boxing discipline.
+
+import (
+	"testing"
+)
+
+// allocBudget asserts the steady-state allocations per run. It reports the
+// measured value so a failure shows the regression size immediately.
+func allocBudget(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	// One untimed warm round builds thread-local state (clocks, spare maps)
+	// before AllocsPerRun's own warmup run.
+	f()
+	if got := testing.AllocsPerRun(200, f); got > budget {
+		t.Errorf("%s: %.1f allocs/run, budget %.0f", name, got, budget)
+	}
+}
+
+func TestAllocBudgetReadOnlySmall(t *testing.T) {
+	rt := counterRT()
+	a, b := NewObject(1), NewObject(2)
+	th := rt.Thread(0)
+	fn := func(tx *Tx) error {
+		if _, err := tx.Read(a); err != nil {
+			return err
+		}
+		_, err := tx.Read(b)
+		return err
+	}
+	allocBudget(t, "core read-only 2 reads", 1, func() {
+		if err := th.RunReadOnly(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetUpdateSmall(t *testing.T) {
+	rt := counterRT()
+	a, b := NewObject(0), NewObject(0)
+	th := rt.Thread(0)
+	bump := func(tx *Tx, o *Object) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, (v.(int)+1)%100)
+	}
+	fn := func(tx *Tx) error {
+		if err := bump(tx, a); err != nil {
+			return err
+		}
+		return bump(tx, b)
+	}
+	allocBudget(t, "core 2-write update", 3, func() {
+		if err := th.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

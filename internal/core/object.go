@@ -60,6 +60,19 @@ type version struct {
 	// prev links to the next older committed version. Atomic because settle
 	// truncates the history concurrently with readers walking it.
 	prev atomic.Pointer[version]
+
+	// predUB is the inline buffer behind the *superseded predecessor's*
+	// fixedUB pointer: the settler that builds this version computes the
+	// predecessor's final bound (CT−1) here, so a supersession allocates no
+	// separate Timestamp. Written once, by this version's builder, before
+	// either CAS in settled can publish it.
+	predUB timebase.Timestamp
+
+	// selfLoc is the writer-free locator that publishes this version as the
+	// object's head, embedded so settling a committed writer allocates the
+	// version node and nothing else. Filled by the builder before the
+	// locator CAS; never mutated afterwards.
+	selfLoc locator
 }
 
 // NewObject creates a transactional object holding an initial value. The
@@ -68,7 +81,8 @@ type version struct {
 func NewObject(initial any) *Object {
 	o := &Object{}
 	v := &version{value: initial, validFrom: timebase.NegInf}
-	o.loc.Store(&locator{cur: v})
+	v.selfLoc.cur = v
+	o.loc.Store(&v.selfLoc)
 	return o
 }
 
@@ -90,11 +104,19 @@ func (o *Object) settled(maxVersions int) *locator {
 			head.prev.Store(loc.cur)
 			// Fix the superseded version's upper bound *before* publishing
 			// the new head: a reader must never observe the new locator and
-			// then find the old head still claiming to be current.
-			ub := ct.Pred()
-			loc.cur.fixedUB.CompareAndSwap(nil, &ub)
+			// then find the old head still claiming to be current. The
+			// bound lives in the candidate head's predUB buffer — racing
+			// settlers compute the identical value (ct is fixed), and each
+			// writes only its own freshly built head, so whichever pointer
+			// wins the CAS the published bound is CT−1. (A head that loses
+			// the locator CAS but wins this one stays reachable through the
+			// fixedUB pointer alone — one stale node per supersession at
+			// worst, the price of not allocating a Timestamp per settle.)
+			head.predUB = ct.Pred()
+			loc.cur.fixedUB.CompareAndSwap(nil, &head.predUB)
 			trim(head, maxVersions)
-			o.loc.CompareAndSwap(loc, &locator{cur: head})
+			head.selfLoc.cur = head
+			o.loc.CompareAndSwap(loc, &head.selfLoc)
 		case StatusAborted:
 			o.loc.CompareAndSwap(loc, &locator{cur: loc.cur})
 		default:

@@ -17,8 +17,26 @@ type Thread struct {
 	// index is the reusable object→entry map lent to transactions whose
 	// access set outgrows the linear-scan fast path. Lazily allocated.
 	index map[*Object]int
+	// spare is the recycler for heap-allocated write slots (tentative
+	// version + locator) whose acquisition loop exited without ever
+	// publishing them: such a slot is provably unreachable from any other
+	// thread, so the next overflowing write reuses it instead of
+	// allocating. One slot suffices — at most one unpublished slot is in
+	// flight per thread.
+	spare *wslot
 	stats Stats
 	_     [64]byte // keep each worker's stats off its neighbours' cache lines
+}
+
+// stash returns an unpublished heap write slot to the recycler. Callers
+// must only pass slots whose locator never won the object's CAS: a
+// published slot is reachable from the object (and from helpers) and must
+// die with its Tx instead. Fields need no scrubbing — every acquisition
+// overwrites them before the slot can be published again.
+func (th *Thread) stash(s *wslot) {
+	if s != nil {
+		th.spare = s
+	}
 }
 
 // ID returns the worker id the thread was created with.
@@ -89,8 +107,12 @@ func (th *Thread) run(readOnly bool, fn func(*Tx) error) error {
 // newTx builds a fresh attempt. The attempt starts with no entry index —
 // small access sets are served by a linear scan, and only a transaction
 // that outgrows smallAccessSet promotes to the Thread's reusable map
-// (helpers never touch it). The entries slice is never reused, because a
-// helper may still be validating a previous attempt's frozen access set.
+// (helpers never touch it). The Tx — and with it the inline entry array
+// and inline write slots — is never reused across attempts, because a
+// helper may still be validating a previous attempt's frozen access set
+// (or reading its published tentative versions); embedding the per-attempt
+// state in the per-attempt Tx is what makes the fast path one allocation
+// without reintroducing that hazard.
 func (th *Thread) newTx(attempt int, readOnly bool) *Tx {
 	th.seq++
 	tx := &Tx{

@@ -56,12 +56,45 @@ type Tx struct {
 	// ct is T.CT, the commit time. CASed from nil exactly once, by the
 	// owner or by any helper (Algorithm 2 line 42).
 	ct atomic.Pointer[timebase.Timestamp]
+
+	// ctClaim elects the single thread allowed to publish ctBuf as the
+	// commit time. The winner fills ctBuf and CASes its address into ct, so
+	// the common (uncontended) commit fixes its timestamp without
+	// allocating; losers fall back to the classic allocate-and-CAS, which
+	// keeps ensureCT lock-free — nobody ever waits for the claim winner.
+	ctClaim atomic.Bool
+	// ctBuf is the inline commit-timestamp buffer behind ct. Written only
+	// by the ctClaim winner, before the ct CAS publishes it.
+	ctBuf timebase.Timestamp
+
+	// inline is the initial backing array of entries: the access set of a
+	// small transaction lives inside the Tx, so the whole attempt costs one
+	// allocation. Safe precisely because the Tx is per-attempt — helpers
+	// may validate this frozen array long after the owner moved on to a new
+	// attempt (and a new Tx), which is why thread.go never recycles
+	// attempts (see newTx).
+	inline [smallAccessSet]entry
+	// wnext/wslots are the inline tentative version + locator pairs handed
+	// out by newWriteSlot: the first smallWriteSlots acquisitions of an
+	// attempt publish locators that live inside the Tx instead of two heap
+	// nodes per write. Like inline, this is sound only because the Tx is
+	// never reused.
+	wnext  int
+	wslots [smallWriteSlots]wslot
 }
 
 type entry struct {
 	obj     *Object
 	ver     *version
 	written bool
+}
+
+// wslot is one inline write acquisition: the tentative version and the
+// locator that registers it. Grouped so overflow slots (and the Thread's
+// recycled spare) stay a single allocation.
+type wslot struct {
+	ver version
+	loc locator
 }
 
 // Status returns the transaction's current state.
@@ -92,6 +125,7 @@ func (tx *Tx) ReadOnly() bool { return tx.readOnly }
 
 // begin initializes the attempt (Algorithm 2, Start).
 func (tx *Tx) begin() {
+	tx.entries = tx.inline[:0]
 	tx.start = tx.th.clock.GetTime()
 	tx.lower = tx.start
 	tx.upper = timebase.Inf
@@ -184,9 +218,18 @@ func (tx *Tx) Write(o *Object, val any) error {
 		return nil
 	}
 	// Acquisition loop (lines 11–21): become the object's registered writer,
-	// resolving conflicts through helping and the contention manager.
+	// resolving conflicts through helping and the contention manager. The
+	// tentative version and its locator are built once (from an inline slot
+	// while any remain) and reused across CAS failures — until the CAS
+	// succeeds they are invisible to every other thread. If the loop exits
+	// without publishing a heap-allocated slot, the slot goes back to the
+	// Thread's recycler.
+	var tent *version
+	var nloc *locator
+	var slot *wslot // non-nil iff tent/nloc came from a recyclable heap slot
 	for n := 0; ; n++ {
 		if tx.Status() != StatusActive {
+			tx.th.stash(slot)
 			return tx.errFromStatus()
 		}
 		loc := o.settled(tx.rt.maxVersions)
@@ -203,6 +246,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 				case AbortSelf:
 					tx.selfAbort(CauseConflict)
 					tx.th.stats.AbortConflict++
+					tx.th.stash(slot)
 					return ErrAborted
 				default:
 					backoff(n)
@@ -213,8 +257,13 @@ func (tx *Tx) Write(o *Object, val any) error {
 			continue
 		}
 		base := loc.cur
-		tent := &version{value: val}
-		if !o.loc.CompareAndSwap(loc, &locator{writer: tx, tent: tent, cur: base}) {
+		if tent == nil {
+			tent, nloc, slot = tx.newWriteSlot()
+			tent.value = val
+			nloc.writer, nloc.tent = tx, tent
+		}
+		nloc.cur = base
+		if !o.loc.CompareAndSwap(loc, nloc) {
 			continue
 		}
 		tx.update = true
@@ -241,24 +290,54 @@ func (tx *Tx) Write(o *Object, val any) error {
 // entries slice instead of maintaining a map. Most transactions in the
 // paper's workloads touch a handful of objects; for those, a backward
 // linear scan over a contiguous slice beats a map's hashing and its
-// per-attempt clearing cost.
+// per-attempt clearing cost. It is also the length of the inline entry
+// array embedded in Tx, so small transactions never allocate a separate
+// access-set backing array.
 const smallAccessSet = 8
+
+// smallWriteSlots is the number of inline tentative-version/locator pairs
+// embedded in Tx. Writes beyond it fall back to one heap allocation per
+// acquisition (recycled through the Thread when provably unpublished).
+const smallWriteSlots = 4
 
 // lookup finds the most recent entry for o (a write upgrade appends a
 // second entry for the same object; the latest one carries the tentative
 // value). Small access sets scan backwards; larger ones use the map built
-// by addEntry.
+// by addEntry. A miss returns index −1, so a caller that forgets to check
+// ok faults loudly instead of silently aliasing entry 0.
 func (tx *Tx) lookup(o *Object) (int, bool) {
 	if tx.index != nil {
-		idx, ok := tx.index[o]
-		return idx, ok
+		if idx, ok := tx.index[o]; ok {
+			return idx, true
+		}
+		return -1, false
 	}
 	for i := len(tx.entries) - 1; i >= 0; i-- {
 		if tx.entries[i].obj == o {
 			return i, true
 		}
 	}
-	return 0, false
+	return -1, false
+}
+
+// newWriteSlot hands out the tentative version and locator for one write
+// acquisition: an inline Tx slot while any remain, then the Thread's
+// recycled spare, then a fresh heap slot. The returned slot pointer is
+// non-nil only for the heap-backed cases, which are the only ones worth
+// recycling — inline slots die with their Tx.
+func (tx *Tx) newWriteSlot() (*version, *locator, *wslot) {
+	if tx.wnext < smallWriteSlots {
+		s := &tx.wslots[tx.wnext]
+		tx.wnext++
+		return &s.ver, &s.loc, nil
+	}
+	s := tx.th.spare
+	if s != nil {
+		tx.th.spare = nil
+	} else {
+		s = new(wslot)
+	}
+	return &s.ver, &s.loc, s
 }
 
 // addEntry appends (o, v) to T.O and indexes it. A write upgrade leaves the
@@ -413,11 +492,25 @@ func (w *Tx) finishCommit(clock timebase.Clock) bool {
 // the CAS). LSA-RT's §2.4 argument requires that no thread reasons about a
 // committing transaction whose commit time could still land in the past —
 // setting it here, before drawing conclusions, closes that window.
+//
+// The first thread in claims the inline ctBuf: it is ctBuf's only writer
+// ever, and the ct CAS publishes the buffer with release/acquire ordering,
+// so the uncontended commit fixes its timestamp without allocating. A
+// thread that loses the claim must not wait (the winner may be preempted
+// between claim and publish — exactly the schedule helping exists for), so
+// it falls back to allocating its own candidate and racing the CAS, which
+// preserves lock-freedom.
 func ensureCT(w *Tx, clock timebase.Clock) {
-	if w.ct.Load() == nil {
-		t := clock.GetNewTS()
-		w.ct.CompareAndSwap(nil, &t)
+	if w.ct.Load() != nil {
+		return
 	}
+	if w.ctClaim.CompareAndSwap(false, true) {
+		w.ctBuf = clock.GetNewTS()
+		w.ct.CompareAndSwap(nil, &w.ctBuf)
+		return
+	}
+	t := clock.GetNewTS()
+	w.ct.CompareAndSwap(nil, &t)
 }
 
 // backoff yields (briefly at first, then sleeping) between conflict

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,18 @@ type Result struct {
 	Txs uint64 `json:"txs"`
 	// Throughput is Txs per second.
 	Throughput float64 `json:"tx_per_s"`
+	// AllocsPerCommit and BytesPerCommit are the process-wide heap
+	// allocation count and byte deltas (runtime.ReadMemStats Mallocs /
+	// TotalAlloc) across the measured interval, divided by Txs — the GC
+	// pressure axis of the snapshot. Methodology caveats: the deltas count
+	// everything the process allocates during the interval (workload
+	// closures, value boxing, the engine, and a few harness timer
+	// allocations), so treat them as per-committed-transaction cost of the
+	// whole engine+workload stack, not of the STM algorithm alone; aborted
+	// attempts' allocations are charged to the commits that survive, which
+	// is deliberate — wasted work is real GC pressure.
+	AllocsPerCommit float64 `json:"allocs_per_commit"`
+	BytesPerCommit  float64 `json:"bytes_per_commit"`
 	// Stats are the engine counters accumulated over the whole run
 	// (including warmup).
 	Stats engine.Stats `json:"stats"`
@@ -60,8 +73,8 @@ type Result struct {
 
 // String renders the result on one line.
 func (r Result) String() string {
-	return fmt.Sprintf("%s/%s workers=%d tx/s=%.0f (aborts/attempt=%.3f)",
-		r.Workload, r.Engine, r.Workers, r.Throughput, r.Stats.AbortRate())
+	return fmt.Sprintf("%s/%s workers=%d tx/s=%.0f (aborts/attempt=%.3f, allocs/commit=%.1f)",
+		r.Workload, r.Engine, r.Workers, r.Throughput, r.Stats.AbortRate(), r.AllocsPerCommit)
 }
 
 // Validate reports whether the result is a well-formed record of a run that
@@ -87,6 +100,13 @@ func (r Result) Validate() error {
 		return fmt.Errorf("harness: %s/%s: zero transactions inside the measured interval", r.Workload, r.Engine)
 	case r.Throughput <= 0:
 		return fmt.Errorf("harness: %s/%s: non-positive throughput %f with %d txs", r.Workload, r.Engine, r.Throughput, r.Txs)
+	case r.AllocsPerCommit <= 0 || r.BytesPerCommit <= 0:
+		// Every engine allocates through the any-valued interface (value
+		// boxing at minimum), and the interval delta always includes the
+		// harness's own timer allocations — a zero here means the snapshot
+		// predates the alloc telemetry or the fields were stripped.
+		return fmt.Errorf("harness: %s/%s: missing alloc telemetry (allocs/commit=%f, bytes/commit=%f)",
+			r.Workload, r.Engine, r.AllocsPerCommit, r.BytesPerCommit)
 	}
 	return nil
 }
@@ -139,11 +159,21 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 
 	start.Done()
 	time.Sleep(warmup)
+	// Allocation telemetry: ReadMemStats deltas bracketing the measured
+	// interval. Each call stops the world briefly, which is why they sit at
+	// the interval edges (outside the throughput measurement t0..elapsed)
+	// and never inside it. The microseconds between the commit-counter
+	// snapshots and the memstats reads — while workers keep running — are
+	// noise proportional to gap/interval, negligible at the default 300 ms
+	// and acceptable at CI's 60 ms smoke interval.
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	before := snapshot(counters)
 	t0 := time.Now()
 	time.Sleep(opt.Duration)
 	after := snapshot(counters)
 	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
 	stop.Store(true)
 	done.Wait()
 	close(errs)
@@ -152,7 +182,7 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 	}
 
 	txs := after - before
-	return Result{
+	r := Result{
 		Workload:   w.Name(),
 		Engine:     eng.Name(),
 		Workers:    opt.Workers,
@@ -160,7 +190,12 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 		Txs:        txs,
 		Throughput: float64(txs) / elapsed.Seconds(),
 		Stats:      eng.Stats(),
-	}, nil
+	}
+	if txs > 0 {
+		r.AllocsPerCommit = float64(m1.Mallocs-m0.Mallocs) / float64(txs)
+		r.BytesPerCommit = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(txs)
+	}
+	return r, nil
 }
 
 func snapshot(cs []padCounter) uint64 {

@@ -43,6 +43,30 @@ func TestRunMeasuresThroughput(t *testing.T) {
 	if res.String() == "" {
 		t.Error("empty Result string")
 	}
+	if res.AllocsPerCommit <= 0 || res.BytesPerCommit <= 0 {
+		t.Errorf("alloc telemetry missing: allocs/commit=%f bytes/commit=%f",
+			res.AllocsPerCommit, res.BytesPerCommit)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("healthy run failed validation: %v", err)
+	}
+}
+
+func TestValidateRejectsMissingAllocTelemetry(t *testing.T) {
+	eng, _ := mkCounterEng()
+	w := &workload.Disjoint{Accesses: 4}
+	res, err := Run(eng, w, Options{Workers: 1, Duration: 20 * time.Millisecond, Warmup: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.AllocsPerCommit = 0
+	if err := res.Validate(); err == nil {
+		t.Error("zero allocs/commit must be rejected (snapshot predates telemetry)")
+	}
+	res.AllocsPerCommit, res.BytesPerCommit = 10, 0
+	if err := res.Validate(); err == nil {
+		t.Error("zero bytes/commit must be rejected")
+	}
 }
 
 func TestRunPropagatesInitError(t *testing.T) {

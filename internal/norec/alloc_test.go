@@ -1,0 +1,69 @@
+package norec
+
+// Allocation budgets for the NOrec fast paths — the ratchet behind the
+// repo-root BenchmarkSmallTxAllocs trend. The Thread recycles its one Tx
+// (read/write logs, promoted index) across attempts, and nothing an attempt
+// builds escapes it, so the steady-state costs are:
+//
+//   - read-only, small read set: 0 — the value log appends into the
+//     recycled backing array.
+//   - update, 2 writes: 2 — the commit write-back publishes one fresh value
+//     snapshot (*any) per written object; those escape to readers by design
+//     and are the floor for the value-snapshot representation.
+//
+// Values written stay in [0,255] so the runtime's small-int interface cache
+// keeps payload boxing out of the count.
+
+import (
+	"testing"
+)
+
+func allocBudget(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	f() // warm the recycled logs before AllocsPerRun's own warmup
+	if got := testing.AllocsPerRun(200, f); got > budget {
+		t.Errorf("%s: %.1f allocs/run, budget %.0f", name, got, budget)
+	}
+}
+
+func TestAllocBudgetReadOnlySmall(t *testing.T) {
+	s := New()
+	a, b := NewObject(1), NewObject(2)
+	th := s.Thread(0)
+	fn := func(tx *Tx) error {
+		if _, err := tx.Read(a); err != nil {
+			return err
+		}
+		_, err := tx.Read(b)
+		return err
+	}
+	allocBudget(t, "norec read-only 2 reads", 0, func() {
+		if err := th.RunReadOnly(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetUpdateSmall(t *testing.T) {
+	s := New()
+	a, b := NewObject(0), NewObject(0)
+	th := s.Thread(0)
+	bump := func(tx *Tx, o *Object) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, (v.(int)+1)%100)
+	}
+	fn := func(tx *Tx) error {
+		if err := bump(tx, a); err != nil {
+			return err
+		}
+		return bump(tx, b)
+	}
+	allocBudget(t, "norec 2-write update", 2, func() {
+		if err := th.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -102,7 +102,13 @@ type writeEntry struct {
 // contiguous slice beats a map's hashing and per-attempt clearing cost.
 const smallWriteSet = 8
 
-// Tx is one NOrec transaction attempt.
+// Tx is one NOrec transaction attempt. Attempts are recycled across retries
+// by their Thread: unlike the LSA core — where helpers may validate a
+// previous attempt's frozen access set — nothing a NOrec attempt builds
+// ever escapes to another thread (the write-back publishes fresh value
+// snapshots, never pointers into the logs), so the read/write sets and the
+// promoted index are reused attempt after attempt and the steady-state
+// retry costs zero allocations.
 type Tx struct {
 	stm      *STM
 	snapshot int64 // sequence-lock value the read set is consistent at
@@ -110,31 +116,55 @@ type Tx struct {
 	reads    []readEntry
 	writes   []writeEntry
 	windex   map[*Object]int // nil while the write set is small
+	// spareIndex keeps the promoted map alive between attempts so a large
+	// write set pays the map allocation once per thread, not per attempt.
+	spareIndex map[*Object]int
+}
+
+// reset rearms the attempt for reuse. Truncating the logs keeps their
+// backing arrays (and, harmlessly, stale pointers in the unused capacity
+// until overwritten — bounded by the largest set this thread has seen).
+func (tx *Tx) reset(stm *STM, readOnly bool) {
+	tx.stm = stm
+	tx.snapshot = stm.waitQuiescent()
+	tx.readOnly = readOnly
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windex = nil
 }
 
 // wlookup finds the write-set entry for o: a linear scan while the set is
-// small, the map built by wadd beyond that.
+// small, the map built by wadd beyond that. A miss returns index −1 (0 is a
+// valid entry index).
 func (tx *Tx) wlookup(o *Object) (int, bool) {
 	if tx.windex != nil {
-		idx, ok := tx.windex[o]
-		return idx, ok
+		if idx, ok := tx.windex[o]; ok {
+			return idx, true
+		}
+		return -1, false
 	}
 	for i := len(tx.writes) - 1; i >= 0; i-- {
 		if tx.writes[i].obj == o {
 			return i, true
 		}
 	}
-	return 0, false
+	return -1, false
 }
 
 // wadd appends a write-set entry; crossing smallWriteSet promotes the index
-// to a map.
+// to the attempt's reusable map (cleared, not reallocated, after the first
+// promotion on this thread).
 func (tx *Tx) wadd(o *Object, val any) {
 	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
 	if tx.windex != nil {
 		tx.windex[o] = len(tx.writes) - 1
 	} else if len(tx.writes) > smallWriteSet {
-		tx.windex = make(map[*Object]int, 4*smallWriteSet)
+		if tx.spareIndex == nil {
+			tx.spareIndex = make(map[*Object]int, 4*smallWriteSet)
+		} else {
+			clear(tx.spareIndex)
+		}
+		tx.windex = tx.spareIndex
 		for i := range tx.writes {
 			tx.windex[tx.writes[i].obj] = i
 		}
@@ -257,9 +287,11 @@ func (tx *Tx) commit() error {
 }
 
 // Thread is a worker context (API-compatible shape with the core engine's
-// Thread so workloads translate directly).
+// Thread so workloads translate directly). It owns the one Tx it recycles
+// across attempts — a Thread must be used by a single goroutine.
 type Thread struct {
 	stm *STM
+	tx  Tx
 }
 
 // Thread creates a worker context.
@@ -274,8 +306,9 @@ func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
 func (t *Thread) RunReadOnly(fn func(*Tx) error) error { return t.run(true, fn) }
 
 func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
+	tx := &t.tx
 	for {
-		tx := &Tx{stm: t.stm, snapshot: t.stm.waitQuiescent(), readOnly: readOnly}
+		tx.reset(t.stm, readOnly)
 		err := fn(tx)
 		if err == nil {
 			err = tx.commit()

@@ -81,6 +81,15 @@ type verMeta struct {
 // values are small compared to its deviation — can read new objects.
 var genesisMeta = &verMeta{ver: timebase.NegInf}
 
+// lockedMeta is the shared "locked" version word installed on every
+// write-set object during commit. It is immutable, and every path that
+// observes a locked word aborts (or, in the lock phase, fails) before
+// reading anything else from it, so one global sentinel serves all
+// transactions: pointer identity across distinct commits is harmless
+// because ownership — the successful CAS from an *unlocked* word — is what
+// authorizes unlock, and two transactions can never own the same object.
+var lockedMeta = &verMeta{locked: true}
+
 // Object is a single-version transactional cell: a versioned lock word and
 // the current value.
 type Object struct {
@@ -97,14 +106,40 @@ func NewObject(initial any) *Object {
 	return o
 }
 
-// Tx is one TL2 transaction attempt.
+// smallWriteSet is the write-set size up to which wlookup scans the writes
+// slice instead of maintaining a map — the same ≤8-entry linear-scan fast
+// path as the LSA core's access set and norec's write set. Most TL2
+// transactions write a handful of objects; below the threshold no map is
+// ever allocated.
+const smallWriteSet = 8
+
+// Tx is one TL2 transaction attempt. Attempts are recycled across retries
+// by their Thread: nothing a TL2 attempt builds escapes it — commit
+// publishes a fresh shared version word and fresh value snapshots, never
+// pointers into the logs — so the read/write sets and the promoted index
+// are reused attempt after attempt and the steady-state retry costs zero
+// allocations.
 type Tx struct {
 	stm      *STM
 	rv       timebase.Timestamp // read version: clock reading at start
 	readOnly bool
 	reads    []readEntry
 	writes   []writeEntry
-	windex   map[*Object]int
+	windex   map[*Object]int // nil while the write set is small
+	// spareIndex keeps the promoted map alive between attempts so a large
+	// write set pays the map allocation once per thread, not per attempt.
+	spareIndex map[*Object]int
+}
+
+// reset rearms the attempt for reuse. Truncating the logs keeps their
+// backing arrays (stale pointers in the unused capacity persist until
+// overwritten — bounded by the largest set this thread has seen).
+func (tx *Tx) reset(rv timebase.Timestamp, readOnly bool) {
+	tx.rv = rv
+	tx.readOnly = readOnly
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windex = nil
 }
 
 type readEntry struct {
@@ -117,11 +152,49 @@ type writeEntry struct {
 	prev *verMeta // pre-lock version word, restored on a failed commit
 }
 
+// wlookup finds the write-set entry for o: a linear scan while the set is
+// small, the map built by wadd beyond that. A miss returns index −1 (0 is a
+// valid entry index).
+func (tx *Tx) wlookup(o *Object) (int, bool) {
+	if tx.windex != nil {
+		if idx, ok := tx.windex[o]; ok {
+			return idx, true
+		}
+		return -1, false
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].obj == o {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// wadd appends a write-set entry; crossing smallWriteSet promotes the index
+// to the attempt's reusable map (cleared, not reallocated, after the first
+// promotion on this thread).
+func (tx *Tx) wadd(o *Object, val any) {
+	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+	if tx.windex != nil {
+		tx.windex[o] = len(tx.writes) - 1
+	} else if len(tx.writes) > smallWriteSet {
+		if tx.spareIndex == nil {
+			tx.spareIndex = make(map[*Object]int, 4*smallWriteSet)
+		} else {
+			clear(tx.spareIndex)
+		}
+		tx.windex = tx.spareIndex
+		for i := range tx.writes {
+			tx.windex[tx.writes[i].obj] = i
+		}
+	}
+}
+
 // Read returns the object's value if its version precedes the
 // transaction's start time; otherwise the attempt aborts (TL2 has no
 // extensions and no old versions).
 func (tx *Tx) Read(o *Object) (any, error) {
-	if idx, ok := tx.windex[o]; ok {
+	if idx, ok := tx.wlookup(o); ok {
 		return tx.writes[idx].val, nil
 	}
 	m1 := o.meta.Load()
@@ -143,15 +216,11 @@ func (tx *Tx) Write(o *Object, val any) error {
 	if tx.readOnly {
 		return ErrReadOnly
 	}
-	if idx, ok := tx.windex[o]; ok {
+	if idx, ok := tx.wlookup(o); ok {
 		tx.writes[idx].val = val
 		return nil
 	}
-	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
-	if tx.windex == nil {
-		tx.windex = make(map[*Object]int, 8)
-	}
-	tx.windex[o] = len(tx.writes) - 1
+	tx.wadd(o, val)
 	return nil
 }
 
@@ -171,11 +240,11 @@ func (tx *Tx) commit(clock timebase.Clock) error {
 		// Reads were individually validated against rv; nothing to do.
 		return nil
 	}
-	// Phase 1: lock the write set (try-lock; abort on any conflict). One
-	// locked word serves the whole set: nothing ever reads ver from a
-	// locked word (every path aborts on locked first), and unlock restores
-	// the saved per-object prev pointers.
-	locked := &verMeta{locked: true}
+	// Phase 1: lock the write set (try-lock; abort on any conflict). The
+	// global lockedMeta sentinel serves every set: nothing ever reads ver
+	// from a locked word (every path aborts on locked first), and unlock
+	// restores the saved per-object prev pointers.
+	locked := lockedMeta
 	lockedUpTo := -1
 	for i := range tx.writes {
 		o := tx.writes[i].obj
@@ -198,7 +267,7 @@ func (tx *Tx) commit(clock timebase.Clock) error {
 	// transaction can have committed in between (the TL2 short cut).
 	if !tx.stm.exclusive || !exactSuccessor(tx.rv, wv) {
 		for _, r := range tx.reads {
-			if _, own := tx.windex[r.obj]; own {
+			if _, own := tx.wlookup(r.obj); own {
 				continue
 			}
 			m := r.obj.meta.Load()
@@ -231,10 +300,12 @@ func (tx *Tx) unlock(upTo int) {
 }
 
 // Thread is a worker context (API-compatible shape with the core engine's
-// Thread so workloads translate directly).
+// Thread so workloads translate directly). It owns the one Tx it recycles
+// across attempts — a Thread must be used by a single goroutine.
 type Thread struct {
 	stm   *STM
 	clock timebase.Clock
+	tx    Tx
 }
 
 // Thread creates a worker context. id selects the worker's clock for
@@ -252,8 +323,10 @@ func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
 func (t *Thread) RunReadOnly(fn func(*Tx) error) error { return t.run(true, fn) }
 
 func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
+	tx := &t.tx
+	tx.stm = t.stm
 	for {
-		tx := &Tx{stm: t.stm, rv: t.clock.GetTime(), readOnly: readOnly}
+		tx.reset(t.clock.GetTime(), readOnly)
 		err := fn(tx)
 		if err == nil {
 			err = tx.commit(t.clock)
