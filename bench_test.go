@@ -130,11 +130,14 @@ func BenchmarkEngineMatrix(b *testing.B) {
 // BenchmarkSmallTxAllocs tracks the per-commit allocation cost of the
 // small-transaction fast paths on the engines whose hot paths are hand-tuned
 // to be allocation-lean (run with -benchmem; the allocs/op column is the
-// contract). Single worker on purpose: allocs/op then is exactly
-// allocations per committed transaction, with no concurrent-abort noise.
-// The same budgets are locked in by the TestAllocBudget tests in
-// internal/core, internal/norec and internal/tl2; this benchmark is the
-// place to see the bytes and the trend across PRs.
+// contract — with the typed value lane, norec runs the bank at 0 allocs/op).
+// Single worker on purpose: allocs/op then is exactly allocations per
+// committed transaction, with no concurrent-abort noise. The same budgets
+// are locked in by the TestAllocBudget tests in internal/core,
+// internal/norec, internal/tl2, internal/glock and internal/rstmval, and by
+// TestIntLaneUnboxed in internal/engine; this benchmark is the place to see
+// the bytes and the trend across PRs. CI prints it (-benchmem) in the
+// bench-smoke job log.
 func BenchmarkSmallTxAllocs(b *testing.B) {
 	workloads := func() []harness.Workload {
 		return []harness.Workload{

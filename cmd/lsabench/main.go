@@ -220,13 +220,14 @@ func runBench(engines []string, workers int, duration, warmup time.Duration) ([]
 }
 
 func benchTable(results []harness.Result) *stats.Table {
-	t := stats.NewTable("engine", "workload", "workers", "tx/s", "aborts/attempt", "allocs/commit", "B/commit")
+	t := stats.NewTable("engine", "workload", "workers", "tx/s", "aborts/attempt", "allocs/commit", "B/commit", "boxed%")
 	for _, r := range results {
 		t.AddRowf(r.Engine, r.Workload, r.Workers,
 			fmt.Sprintf("%.0f", r.Throughput),
 			fmt.Sprintf("%.4f", r.Stats.AbortRate()),
 			fmt.Sprintf("%.1f", r.AllocsPerCommit),
-			fmt.Sprintf("%.0f", r.BytesPerCommit))
+			fmt.Sprintf("%.0f", r.BytesPerCommit),
+			fmt.Sprintf("%.1f", 100*r.Stats.BoxedShare()))
 	}
 	return t
 }

@@ -4,8 +4,8 @@ package core
 // ratchet behind the -benchmem trend in the repo-root BenchmarkSmallTxAllocs:
 // a regression that reintroduces per-attempt allocations (entry-slice growth,
 // per-write version/locator nodes, the commit-timestamp box, per-supersession
-// Timestamp boxes) fails here deterministically instead of drifting in a
-// bench snapshot.
+// Timestamp boxes, payload boxing on the typed value lane) fails here
+// deterministically instead of drifting in a bench snapshot.
 //
 // Budget accounting on the current fast path:
 //
@@ -13,16 +13,17 @@ package core
 //     embeds the inline entry array. The Tx cannot be reused across attempts
 //     (helpers may validate a frozen access set), so 1 is the floor for the
 //     current design.
-//   - update, 2 read-modify-writes: 3 — the Tx, plus the two committed-head
-//     version nodes built when the *next* attempt settles the previous
-//     commit's locators (settling is lazy, so in a steady-state loop each
-//     run pays the previous run's supersessions; each costs exactly one
-//     node: the locator and the predecessor's fixed upper bound are embedded
-//     in it).
+//   - update, 1 read-modify-write: 2 — the Tx, plus the committed-head
+//     version node built when the *next* attempt settles the previous
+//     commit's locator (settling is lazy, so in a steady-state loop each run
+//     pays the previous run's supersession; it costs exactly one node — the
+//     locator and the predecessor's fixed upper bound are embedded in it).
+//   - update, 2 read-modify-writes: 3 — the Tx plus two settle nodes.
 //
-// Values written stay in [0,255] so the runtime's small-int interface cache
-// keeps payload boxing out of the count — the budgets measure the engine,
-// not the workload's boxing discipline.
+// Values are written far outside the runtime's small-int interface cache
+// (> 2⁴⁰) through the typed lane (ReadValue/WriteInt), so these budgets
+// prove the unboxed int lane end to end: zero boxing allocations per int
+// write on the hottest path.
 
 import (
 	"testing"
@@ -40,15 +41,19 @@ func allocBudget(t *testing.T, name string, budget float64, f func()) {
 	}
 }
 
+// big keeps every written value far outside the runtime's small-int cache,
+// so any boxing on the path would show up as an allocation.
+const big = int64(1) << 40
+
 func TestAllocBudgetReadOnlySmall(t *testing.T) {
 	rt := counterRT()
-	a, b := NewObject(1), NewObject(2)
+	a, b := NewObject(big+1), NewObject(big+2)
 	th := rt.Thread(0)
 	fn := func(tx *Tx) error {
-		if _, err := tx.Read(a); err != nil {
+		if _, _, err := tx.ReadInt(a); err != nil {
 			return err
 		}
-		_, err := tx.Read(b)
+		_, _, err := tx.ReadInt(b)
 		return err
 	}
 	allocBudget(t, "core read-only 2 reads", 1, func() {
@@ -58,16 +63,34 @@ func TestAllocBudgetReadOnlySmall(t *testing.T) {
 	})
 }
 
-func TestAllocBudgetUpdateSmall(t *testing.T) {
+func TestAllocBudgetUpdateOne(t *testing.T) {
 	rt := counterRT()
-	a, b := NewObject(0), NewObject(0)
+	a := NewObject(big)
 	th := rt.Thread(0)
-	bump := func(tx *Tx, o *Object) error {
-		v, err := tx.Read(o)
+	fn := func(tx *Tx) error {
+		v, _, err := tx.ReadInt(a)
 		if err != nil {
 			return err
 		}
-		return tx.Write(o, (v.(int)+1)%100)
+		return tx.WriteInt(a, big+(v+1)%100)
+	}
+	allocBudget(t, "core 1-write update", 2, func() {
+		if err := th.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetUpdateSmall(t *testing.T) {
+	rt := counterRT()
+	a, b := NewObject(big), NewObject(big)
+	th := rt.Thread(0)
+	bump := func(tx *Tx, o *Object) error {
+		v, _, err := tx.ReadInt(o)
+		if err != nil {
+			return err
+		}
+		return tx.WriteInt(o, big+(v+1)%100)
 	}
 	fn := func(tx *Tx) error {
 		if err := bump(tx, a); err != nil {

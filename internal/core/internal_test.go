@@ -33,7 +33,7 @@ func TestSettleCommittedWriter(t *testing.T) {
 	if loc.writer != nil {
 		t.Fatalf("settled locator still has writer %v", loc.writer.Status())
 	}
-	if loc.cur.value.(int) != 2 {
+	if loc.cur.value.Load().(int) != 2 {
 		t.Errorf("head value = %v, want 2", loc.cur.value)
 	}
 	if loc.cur.validFrom.IsZero() || loc.cur.validFrom.IsInf() {
@@ -71,7 +71,7 @@ func TestSettleAbortedWriterKeepsValue(t *testing.T) {
 	if loc.writer != nil {
 		t.Fatal("aborted writer not cleaned")
 	}
-	if loc.cur.value.(int) != 7 {
+	if loc.cur.value.Load().(int) != 7 {
 		t.Errorf("value = %v, want original 7", loc.cur.value)
 	}
 	if loc.cur.fixedUB.Load() != nil {
@@ -100,7 +100,7 @@ func TestTrimBoundsHistory(t *testing.T) {
 	if depth > maxV {
 		t.Errorf("history depth %d, want ≤ %d", depth, maxV)
 	}
-	if loc.cur.value.(int) != 10 {
+	if loc.cur.value.Load().(int) != 10 {
 		t.Errorf("head = %v, want 10", loc.cur.value)
 	}
 }
@@ -121,7 +121,7 @@ func TestHistoryOrderedNewestFirst(t *testing.T) {
 		if !prevFrom.LaterEq(v.validFrom) {
 			t.Fatalf("chain out of order: %v then %v", prevFrom, v.validFrom)
 		}
-		if !v.validFrom.IsNegInf() && v.value.(int) != want {
+		if !v.validFrom.IsNegInf() && v.value.Load().(int) != want {
 			t.Fatalf("version value %v, want %d", v.value, want)
 		}
 		want--

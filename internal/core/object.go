@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/timebase"
+	"repro/internal/val"
 )
 
 // Object is a transactional memory object: a cell traversing a sequence of
@@ -40,10 +41,12 @@ type locator struct {
 // a newest-first chain through prev; the chain is truncated to the runtime's
 // MaxVersions on settle.
 type version struct {
-	// value is the payload. It is written only by the owning transaction
-	// while active, and read by others only after the owner's status CAS
-	// (release) has been observed (acquire), so access is race-free.
-	value any
+	// value is the payload: the typed representation with an unboxed
+	// numeric lane (val.Value), so int-valued writes never box. It is
+	// written only by the owning transaction while active, and read by
+	// others only after the owner's status CAS (release) has been observed
+	// (acquire), so access is race-free.
+	value val.Value
 
 	// validFrom is ⌊v.R⌋: the commit time of the writing transaction. The
 	// genesis version uses timebase.NegInf. Tentative versions have it zero
@@ -80,7 +83,7 @@ type version struct {
 // any time base can read it regardless of their clock's current value.
 func NewObject(initial any) *Object {
 	o := &Object{}
-	v := &version{value: initial, validFrom: timebase.NegInf}
+	v := &version{value: val.OfAny(initial), validFrom: timebase.NegInf}
 	v.selfLoc.cur = v
 	o.loc.Store(&v.selfLoc)
 	return o

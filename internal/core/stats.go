@@ -30,6 +30,10 @@ type Stats struct {
 	Helps uint64
 	// EnemyAborts counts enemy transactions this thread aborted.
 	EnemyAborts uint64
+	// BoxedCommits counts commits that wrote at least one escape-hatch
+	// (non-numeric) payload — the boxing-lane telemetry behind the bench
+	// matrix's boxed% column.
+	BoxedCommits uint64
 }
 
 func (s *Stats) add(o *Stats) {
@@ -43,6 +47,7 @@ func (s *Stats) add(o *Stats) {
 	s.Extensions += o.Extensions
 	s.Helps += o.Helps
 	s.EnemyAborts += o.EnemyAborts
+	s.BoxedCommits += o.BoxedCommits
 }
 
 // AbortRate returns aborts per attempt: Aborts / (Commits + Aborts).

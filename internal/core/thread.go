@@ -73,6 +73,9 @@ func (th *Thread) run(readOnly bool, fn func(*Tx) error) error {
 		case err == nil:
 			if err = tx.commit(); err == nil {
 				th.stats.Commits++
+				if tx.boxed {
+					th.stats.BoxedCommits++
+				}
 				return nil
 			}
 		case err != ErrAborted:

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/timebase"
+	"repro/internal/val"
 )
 
 // Tx is one attempt of a transaction executing the Real-Time Lazy Snapshot
@@ -41,6 +42,9 @@ type Tx struct {
 	index map[*Object]int
 	// update records whether the transaction wrote anything.
 	update bool
+	// boxed records whether any write took the escape hatch (a non-numeric
+	// payload) — the per-commit boxing telemetry behind Stats.BoxedCommits.
+	boxed bool
 	// closed marks that extension is pointless: some version in the read
 	// set has been superseded, so the upper bound can never grow again
 	// (the paper's "closed" optimization, §2.2).
@@ -173,11 +177,34 @@ func (tx *Tx) abortExternal() bool {
 	return tx.status.CompareAndSwap(int32(StatusActive), int32(StatusAborted))
 }
 
-// Read opens the object in read mode (Algorithm 2, Open with m = read) and
-// returns the value of the version selected into the snapshot.
+// Read opens the object in read mode and returns the selected version's
+// value as `any` — the generic escape-hatch view of ReadValue (numeric-lane
+// payloads are boxed here; lane-aware callers use ReadValue or ReadInt).
 func (tx *Tx) Read(o *Object) (any, error) {
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return nil, err
+	}
+	return v.Load(), nil
+}
+
+// ReadInt opens the object in read mode through the unboxed numeric lane.
+// ok reports whether the value currently lives in the lane; when false the
+// caller falls back to Read.
+func (tx *Tx) ReadInt(o *Object) (n int64, ok bool, err error) {
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok = v.AsInt64()
+	return n, ok, nil
+}
+
+// ReadValue opens the object in read mode (Algorithm 2, Open with m = read)
+// and returns the value of the version selected into the snapshot.
+func (tx *Tx) ReadValue(o *Object) (val.Value, error) {
 	if tx.Status() != StatusActive {
-		return nil, tx.errFromStatus()
+		return val.Value{}, tx.errFromStatus()
 	}
 	if idx, ok := tx.lookup(o); ok {
 		return tx.entries[idx].ver.value, nil
@@ -186,7 +213,7 @@ func (tx *Tx) Read(o *Object) (any, error) {
 	if !ok {
 		tx.selfAbort(CauseSnapshot)
 		tx.th.stats.AbortSnapshot++
-		return nil, ErrAborted
+		return val.Value{}, ErrAborted
 	}
 	// Lines 28–30: intersect T.R with the version's validity range and
 	// abort if the snapshot became (possibly) inconsistent.
@@ -197,24 +224,40 @@ func (tx *Tx) Read(o *Object) (any, error) {
 	if tx.lower.PossiblyLater(tx.upper) {
 		tx.selfAbort(CauseSnapshot)
 		tx.th.stats.AbortSnapshot++
-		return nil, ErrAborted
+		return val.Value{}, ErrAborted
 	}
 	tx.addEntry(o, v, false)
 	return v.value, nil
 }
 
-// Write opens the object in write mode (Algorithm 2, Open with m = write)
-// and installs val as the transaction's tentative new value.
-func (tx *Tx) Write(o *Object, val any) error {
+// Write opens the object in write mode and installs v as the tentative new
+// value — the generic escape-hatch view of WriteValue (dynamic int/int64
+// payloads are canonicalized back into the numeric lane).
+func (tx *Tx) Write(o *Object, v any) error {
+	return tx.WriteValue(o, val.OfAny(v))
+}
+
+// WriteInt opens the object in write mode through the unboxed numeric lane:
+// no part of the write boxes. Lane values have canonical dynamic type int.
+func (tx *Tx) WriteInt(o *Object, n int64) error {
+	return tx.WriteValue(o, val.OfInt(int(n)))
+}
+
+// WriteValue opens the object in write mode (Algorithm 2, Open with m =
+// write) and installs v as the transaction's tentative new value.
+func (tx *Tx) WriteValue(o *Object, v val.Value) error {
 	if tx.Status() != StatusActive {
 		return tx.errFromStatus()
 	}
 	if tx.readOnly {
 		return ErrReadOnly
 	}
+	if v.Kind() == val.KindBoxed {
+		tx.boxed = true
+	}
 	if idx, ok := tx.lookup(o); ok && tx.entries[idx].written {
 		// Already own the object: update the tentative version in place.
-		tx.entries[idx].ver.value = val
+		tx.entries[idx].ver.value = v
 		return nil
 	}
 	// Acquisition loop (lines 11–21): become the object's registered writer,
@@ -259,7 +302,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 		base := loc.cur
 		if tent == nil {
 			tent, nloc, slot = tx.newWriteSlot()
-			tent.value = val
+			tent.value = v
 			nloc.writer, nloc.tent = tx, tent
 		}
 		nloc.cur = base

@@ -1,0 +1,43 @@
+package engine
+
+// adapterThread is the shared worker context of the counter-set backends
+// (norec, norec/striped, tl2, glock, rstmval): it owns the per-thread retry
+// closure and the bound Run/RunReadOnly/BoxedCommits method values, all
+// created once in Engine.Thread, so a steady-state transaction allocates
+// nothing in the adapter layer. T is the backend's concrete transaction
+// pointer type; the backend-specific Thread constructor fills step with the
+// closure that lifts it to Txn.
+//
+// Run and RunReadOnly save and restore the fn/attempts slots so the
+// adapter is exactly as reentrant as the engine it wraps — which, for
+// every backend served by this type, is not at all: their native Threads
+// recycle one transaction, so a nested Run on the same Thread corrupts the
+// outer attempt's logs regardless of any adapter bookkeeping (see
+// TestNestedRunSameThread for the engines that do support flat nesting).
+// The save/restore only guarantees the adapter never turns that misuse
+// into a nil-closure panic of its own.
+type adapterThread[T any] struct {
+	id       int
+	counters *txnCounters
+	fn       func(Txn) error
+	attempts uint64
+	step     func(T) error
+	run      func(func(T) error) error
+	runRO    func(func(T) error) error
+	boxed    func() uint64
+}
+
+func (t *adapterThread[T]) ID() int { return t.id }
+
+func (t *adapterThread[T]) Run(fn func(Txn) error) error         { return t.do(t.run, fn) }
+func (t *adapterThread[T]) RunReadOnly(fn func(Txn) error) error { return t.do(t.runRO, fn) }
+
+func (t *adapterThread[T]) do(run func(func(T) error) error, fn func(Txn) error) error {
+	prevFn, prevAttempts := t.fn, t.attempts
+	t.fn, t.attempts = fn, 0
+	err := run(t.step)
+	t.counters.record(t.attempts, err)
+	t.counters.boxedCommits = t.boxed()
+	t.fn, t.attempts = prevFn, prevAttempts
+	return err
+}

@@ -322,3 +322,165 @@ func TestConformanceSkipList(t *testing.T) {
 		})
 	}
 }
+
+// mixedPayload is the escape-hatch payload of the mixed-type conformance
+// test: a struct, so it can never ride the numeric lane.
+type mixedPayload struct{ n int }
+
+// TestConformanceMixedTypeCell exercises one cell that alternates between
+// the unboxed int lane and boxed payloads on every backend. The
+// single-threaded phase checks the documented lane semantics (escape-hatch
+// values round-trip exactly; lane values read back as int; a typed Get[int]
+// on a boxed cell falls back and fails cleanly instead of serving a stale
+// lane word). The concurrent phase hammers a writer that atomically stores
+// {n or mixedPayload{n}} and {−n}: a reader that ever decodes a stale lane
+// value against a current boxed one (or vice versa) breaks the zero-sum
+// invariant immediately.
+func TestConformanceMixedTypeCell(t *testing.T) {
+	const bigBase = 1 << 40 // far outside the runtime's small-int cache
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := engine.MustNew(name, engine.Options{Nodes: confWorkers})
+			th := eng.Thread(0)
+
+			c := eng.NewCell("seed")
+			readRaw := func() any {
+				var v any
+				if err := th.RunReadOnly(func(tx engine.Txn) error {
+					var err error
+					v, err = tx.Read(c)
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+			// Boxed seed: exact round trip, and Get[int] must error (the
+			// fallback path), not serve a leftover lane word.
+			if got := readRaw(); got != "seed" {
+				t.Fatalf("boxed seed read back as %v", got)
+			}
+			if err := th.RunReadOnly(func(tx engine.Txn) error {
+				_, err := engine.Get[int](tx, c)
+				return err
+			}); err == nil {
+				t.Fatal("Get[int] on a string cell must error")
+			}
+			// Int lane: typed round trip, canonical dynamic type int.
+			if err := th.Run(func(tx engine.Txn) error {
+				return engine.Set(tx, c, bigBase+1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got := readRaw(); got != int(bigBase+1) {
+				t.Fatalf("lane value read back as %v (%T)", got, got)
+			}
+			// Back to a boxed struct: Get[int] must not alias the stale
+			// lane word bigBase+1.
+			if err := th.Run(func(tx engine.Txn) error {
+				return tx.Write(c, mixedPayload{n: 7})
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got := readRaw(); got != (mixedPayload{n: 7}) {
+				t.Fatalf("struct read back as %v (%T)", got, got)
+			}
+			if err := th.RunReadOnly(func(tx engine.Txn) error {
+				_, err := engine.Get[int](tx, c)
+				return err
+			}); err == nil {
+				t.Fatal("Get[int] after a boxed overwrite must error, not serve the stale lane value")
+			}
+			// Raw int64 writes keep their exact dynamic type; Set[int64]
+			// rides the lane and canonicalizes to int (documented).
+			if err := th.Run(func(tx engine.Txn) error {
+				return tx.Write(c, int64(bigBase+2))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got := readRaw(); got != int64(bigBase+2) {
+				t.Fatalf("raw int64 read back as %v (%T)", got, got)
+			}
+			if err := th.Run(func(tx engine.Txn) error {
+				return engine.Set(tx, c, int64(bigBase+3))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var got64 int64
+			if err := th.RunReadOnly(func(tx engine.Txn) error {
+				var err error
+				got64, err = engine.Get[int64](tx, c)
+				return err
+			}); err != nil || got64 != bigBase+3 {
+				t.Fatalf("Get[int64] through the lane = %d, %v", got64, err)
+			}
+
+			// Concurrent phase: type-toggling writer vs decoding readers.
+			a, b := eng.NewCell(mixedPayload{}), eng.NewCell(0)
+			var violations atomic.Int64
+			var wg sync.WaitGroup
+			for id := 0; id < confWorkers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := eng.Thread(id)
+					for i := 1; i <= confIters(t, 200); i++ {
+						var err error
+						if id == 0 {
+							n := bigBase + i
+							err = th.Run(func(tx engine.Txn) error {
+								if i%2 == 0 {
+									if err := engine.Set(tx, a, n); err != nil {
+										return err
+									}
+								} else if err := tx.Write(a, mixedPayload{n: n}); err != nil {
+									return err
+								}
+								return engine.Set(tx, b, -n)
+							})
+						} else {
+							check := func(tx engine.Txn) error {
+								v, err := tx.Read(a)
+								if err != nil {
+									return err
+								}
+								var n int
+								switch x := v.(type) {
+								case int:
+									n = x
+								case mixedPayload:
+									n = x.n
+								default:
+									violations.Add(1)
+									return fmt.Errorf("cell a holds %T", v)
+								}
+								m, err := engine.Get[int](tx, b)
+								if err != nil {
+									return err
+								}
+								if n+m != 0 {
+									violations.Add(1)
+									return fmt.Errorf("stale lane/box pair: %d vs %d", n, m)
+								}
+								return nil
+							}
+							if i%2 == 0 {
+								err = th.RunReadOnly(check)
+							} else {
+								err = th.Run(check)
+							}
+						}
+						if err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			if v := violations.Load(); v > 0 {
+				t.Errorf("%d stale lane/box observations", v)
+			}
+		})
+	}
+}

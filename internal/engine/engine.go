@@ -50,6 +50,42 @@ type Txn interface {
 	Write(c Cell, val any) error
 }
 
+// IntTxn is the optional unboxed numeric lane: a Txn that additionally
+// implements it moves int-typed payloads as plain int64 words, with no
+// interface boxing anywhere on the path. Every backend in this repository
+// implements it; the typed accessors Get, Set and Update detect it with one
+// type assertion and use it automatically, so int-valued workloads ride the
+// lane with no code changes.
+//
+// Lane semantics: values written through WriteInt have canonical dynamic
+// type int (a raw Txn.Read returns int), and ReadInt serves any numeric
+// payload (int or int64) regardless of which API wrote it — the lane erases
+// the int/int64 width distinction for typed accessors, while the generic
+// Read/Write pair preserves exact dynamic types end to end.
+type IntTxn interface {
+	// ReadInt returns the cell's value through the numeric lane. ok reports
+	// whether the cell currently holds a numeric payload; when false the
+	// caller falls back to Read (the escape hatch).
+	ReadInt(c Cell) (v int64, ok bool, err error)
+	// WriteInt installs v through the numeric lane without boxing.
+	WriteInt(c Cell, v int64) error
+	// UpdateInt applies f as a read-modify-write through the numeric lane.
+	// ok is false (and nothing is written) when the cell holds a boxed
+	// payload.
+	UpdateInt(c Cell, f func(int64) int64) (ok bool, err error)
+}
+
+// updateIntVia implements IntTxn.UpdateInt in terms of ReadInt/WriteInt —
+// shared by every adapter wrapper (each is a one-pointer struct, so the
+// interface conversion here does not allocate).
+func updateIntVia(t IntTxn, c Cell, f func(int64) int64) (bool, error) {
+	n, ok, err := t.ReadInt(c)
+	if !ok || err != nil {
+		return ok, err
+	}
+	return true, t.WriteInt(c, f(n))
+}
+
 // Thread is one worker's execution context. A Thread must be used by a
 // single goroutine; create one per worker with Engine.Thread.
 type Thread interface {
@@ -109,6 +145,20 @@ type Stats struct {
 	// EnemyAborts counts enemy transactions aborted by this engine's
 	// threads.
 	EnemyAborts uint64 `json:"enemy_aborts,omitempty"`
+	// BoxedCommits counts commits that wrote at least one escape-hatch
+	// (boxed, non-numeric) payload — the complement of the unboxed int
+	// lane. Omitted when zero, so snapshots from engines (or eras) without
+	// the counter parse unchanged.
+	BoxedCommits uint64 `json:"boxed_commits,omitempty"`
+}
+
+// BoxedShare returns the fraction of commits that took the boxing escape
+// hatch (0 when nothing committed).
+func (s Stats) BoxedShare() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.BoxedCommits) / float64(s.Commits)
 }
 
 // AbortRate returns aborts per attempt: Aborts / (Commits + Aborts).
@@ -125,34 +175,74 @@ func (s Stats) String() string {
 	return fmt.Sprintf("commits=%d aborts=%d (rate=%.4f)", s.Commits, s.Aborts, s.AbortRate())
 }
 
-// Get reads the cell and asserts its value to T.
+// Get reads the cell and asserts its value to T. For T = int or int64 on a
+// lane-capable transaction the read goes through IntTxn.ReadInt and never
+// boxes; the pointer-typed switch on &zero compiles to a static dispatch
+// with no interface allocation (pointers are direct interface values, and
+// the interface does not escape).
 func Get[T any](tx Txn, c Cell) (T, error) {
+	var zero T
+	switch p := any(&zero).(type) {
+	case *int:
+		if it, ok := tx.(IntTxn); ok {
+			n, isNum, err := it.ReadInt(c)
+			if err != nil {
+				return zero, err
+			}
+			if isNum {
+				*p = int(n)
+				return zero, nil
+			}
+		}
+	case *int64:
+		if it, ok := tx.(IntTxn); ok {
+			n, isNum, err := it.ReadInt(c)
+			if err != nil {
+				return zero, err
+			}
+			if isNum {
+				*p = n
+				return zero, nil
+			}
+		}
+	}
 	v, err := tx.Read(c)
 	if err != nil {
-		var zero T
 		return zero, err
 	}
 	t, ok := v.(T)
 	if !ok {
-		var zero T
 		return zero, fmt.Errorf("engine: cell holds %T, not %T", v, zero)
 	}
 	return t, nil
 }
 
-// Set writes a typed value to the cell.
-func Set[T any](tx Txn, c Cell, val T) error {
-	return tx.Write(c, val)
+// Set writes a typed value to the cell. For T = int or int64 on a
+// lane-capable transaction the write goes through IntTxn.WriteInt and never
+// boxes.
+func Set[T any](tx Txn, c Cell, v T) error {
+	switch p := any(&v).(type) {
+	case *int:
+		if it, ok := tx.(IntTxn); ok {
+			return it.WriteInt(c, int64(*p))
+		}
+	case *int64:
+		if it, ok := tx.(IntTxn); ok {
+			return it.WriteInt(c, *p)
+		}
+	}
+	return tx.Write(c, v)
 }
 
 // Update applies f to the cell's current value and stores the result — the
-// common read-modify-write in one call.
+// common read-modify-write in one call. Composed from Get and Set, it
+// inherits their unboxed int lane.
 func Update[T any](tx Txn, c Cell, f func(T) T) error {
 	cur, err := Get[T](tx, c)
 	if err != nil {
 		return err
 	}
-	return tx.Write(c, f(cur))
+	return Set(tx, c, f(cur))
 }
 
 // txnCounters are the per-thread commit/abort tallies shared by the adapter
@@ -162,10 +252,11 @@ func Update[T any](tx Txn, c Cell, f func(T) T) error {
 // earlier one was an abort. The trailing padding keeps each worker's
 // counters off its neighbours' cache lines.
 type txnCounters struct {
-	commits    uint64
-	aborts     uint64
-	userAborts uint64
-	_          [40]byte
+	commits      uint64
+	aborts       uint64
+	userAborts   uint64
+	boxedCommits uint64
+	_            [32]byte
 }
 
 func (c *txnCounters) record(attempts uint64, err error) {
@@ -204,19 +295,7 @@ func (s *counterSet) Stats() Stats {
 		total.Commits += c.commits
 		total.Aborts += c.aborts
 		total.UserAborts += c.userAborts
+		total.BoxedCommits += c.boxedCommits
 	}
 	return total
-}
-
-// runCounted adapts one backend-native retry loop to the engine interface
-// while tallying attempts: run is the backend's Run/RunReadOnly method
-// value, wrap lifts its concrete transaction type to Txn.
-func runCounted[T any](c *txnCounters, run func(func(T) error) error, wrap func(T) Txn, fn func(Txn) error) error {
-	var attempts uint64
-	err := run(func(tx T) error {
-		attempts++
-		return fn(wrap(tx))
-	})
-	c.record(attempts, err)
-	return err
 }

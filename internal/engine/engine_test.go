@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestRegistryNames(t *testing.T) {
 	for _, want := range []string{
 		"lsa/shared", "lsa/tl2ts", "lsa/sharded", "lsa/mmtimer", "lsa/ideal",
 		"lsa/extsync", "tl2", "tl2/extsync", "tl2/sharded", "wordstm",
-		"rstmval", "norec", "glock",
+		"rstmval", "norec", "norec/striped", "glock",
 	} {
 		found := false
 		for _, n := range names {
@@ -34,7 +35,7 @@ func TestRegistryNames(t *testing.T) {
 // -short: a backend whose init forgot to Register (or a registry refactor
 // that drops one) fails the build here, not in a bench someone runs later.
 func TestRegisteredEngineCount(t *testing.T) {
-	const floor = 13
+	const floor = 14
 	if names := Names(); len(names) < floor {
 		t.Fatalf("only %d engines registered, want ≥ %d: %v", len(names), floor, names)
 	}
@@ -99,8 +100,77 @@ func TestEveryBackendRoundTrips(t *testing.T) {
 			if got != 42 {
 				t.Errorf("read back %d, want 42", got)
 			}
-			if s := eng.Stats(); s.Commits < 2 {
+			// Every backend implements the IntTxn capability; drive
+			// UpdateInt directly (Get/Set cover ReadInt/WriteInt).
+			if err := th.Run(func(tx Txn) error {
+				it, ok := tx.(IntTxn)
+				if !ok {
+					return fmt.Errorf("backend %s lacks the IntTxn capability", name)
+				}
+				done, err := it.UpdateInt(c, func(v int64) int64 { return v * 2 })
+				if err != nil {
+					return err
+				}
+				if !done {
+					return fmt.Errorf("UpdateInt refused an int-lane cell")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := th.RunReadOnly(func(tx Txn) error {
+				var err error
+				got, err = Get[int](tx, c)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != 84 {
+				t.Errorf("UpdateInt result = %d, want 84", got)
+			}
+			if s := eng.Stats(); s.Commits < 3 {
 				t.Errorf("stats did not count commits: %+v", s)
+			}
+		})
+	}
+}
+
+// TestIntLaneUnboxed ratchets the whole engine-layer stack: a typed
+// Get/Set read-modify-write of values far outside the runtime's small-int
+// cache, through Thread.Run, the cached adapter closure, the IntTxn
+// dispatch in the accessors, and the backend's numeric lane. The budgets
+// are end-to-end allocations per committed transaction.
+func TestIntLaneUnboxed(t *testing.T) {
+	const big = 1 << 40
+	budgets := map[string]float64{
+		"norec":         0,
+		"norec/striped": 0,
+		"glock":         0,
+		"rstmval":       0,
+		"tl2":           1, // the shared commit version word
+		"lsa/shared":    2, // per-attempt Tx + lazy settle of the previous commit
+		"wordstm":       6, // native word-Tx machinery (not tuned); the tagged lane still never boxes
+	}
+	for name, budget := range budgets {
+		t.Run(name, func(t *testing.T) {
+			eng := MustNew(name, Options{Nodes: 1})
+			c := eng.NewCell(big)
+			th := eng.Thread(0)
+			fn := func(tx Txn) error {
+				v, err := Get[int](tx, c)
+				if err != nil {
+					return err
+				}
+				return Set(tx, c, big+(v+1)%100)
+			}
+			step := func() {
+				if err := th.Run(fn); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step()
+			if got := testing.AllocsPerRun(200, step); got > budget {
+				t.Errorf("%s: %.1f allocs per engine-layer int transaction, budget %.0f", name, got, budget)
 			}
 		})
 	}
@@ -144,7 +214,7 @@ func TestWordEncoding(t *testing.T) {
 	cases := []any{0, 1, -1, 12345, -12345, immediateMax - 1, -immediateMax + 1,
 		immediateMax, -immediateMax, int(1) << 62, "hello", pair{3, 4}, []int{1, 2}}
 	for _, v := range cases {
-		w := we.encode(v)
+		w, _ := we.encode(v)
 		got := we.decode(w)
 		switch want := v.(type) {
 		case []int:
@@ -164,6 +234,20 @@ func TestWordEncoding(t *testing.T) {
 	we.encode(-7)
 	if len(we.boxes) != before {
 		t.Errorf("small ints were boxed: %d → %d boxes", before, len(we.boxes))
+	}
+	// Freed slots must be reused before the table grows.
+	_, idx := we.encode("reusable")
+	if idx < 0 {
+		t.Fatal("string encode did not box")
+	}
+	grown := len(we.boxes)
+	we.freeBoxes([]int64{idx})
+	_, idx2 := we.encode("replacement")
+	if idx2 != idx {
+		t.Errorf("freed slot %d not reused (got %d)", idx, idx2)
+	}
+	if len(we.boxes) != grown {
+		t.Errorf("table grew past a free slot: %d → %d", grown, len(we.boxes))
 	}
 }
 
@@ -196,4 +280,77 @@ func TestCrossEngineCellPanics(t *testing.T) {
 		_, err := tx.Read(c)
 		return err
 	})
+}
+
+// TestNestedRunSameThread: a transaction body that starts another
+// transaction on the same Thread must leave the outer retry loop's cached
+// closure intact — regression test for the save/restore in the adapter
+// threads. Only the engines whose native runtimes tolerate nesting are
+// driven: the LSA core builds a fresh Tx per attempt and wordstm likewise,
+// so the nested Run executes as a flat, independent transaction; the
+// recycled-Tx engines (norec, tl2, glock, rstmval) share one native
+// transaction per thread and do not support nesting at any layer.
+func TestNestedRunSameThread(t *testing.T) {
+	for _, name := range []string{"lsa/shared", "wordstm"} {
+		t.Run(name, func(t *testing.T) {
+			eng := MustNew(name, Options{Nodes: 1})
+			a, b := eng.NewCell(0), eng.NewCell(0)
+			th := eng.Thread(0)
+			if err := th.Run(func(tx Txn) error {
+				if err := Set(tx, a, 1); err != nil {
+					return err
+				}
+				return th.Run(func(inner Txn) error { return Set(inner, b, 2) })
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var av, bv int
+			if err := th.RunReadOnly(func(tx Txn) error {
+				var err error
+				if av, err = Get[int](tx, a); err != nil {
+					return err
+				}
+				bv, err = Get[int](tx, b)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if av != 1 || bv != 2 {
+				t.Errorf("nested run results: a=%d b=%d, want 1/2", av, bv)
+			}
+		})
+	}
+}
+
+// TestIntLaneWideValues: values past wordstm's 63-bit immediate range must
+// still round-trip through the typed accessors on every backend — the word
+// engine boxes them into its side table but serves them back through the
+// numeric lane like everyone else.
+func TestIntLaneWideValues(t *testing.T) {
+	const wide = int64(1) << 62
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := MustNew(name, Options{Nodes: 1})
+			th := eng.Thread(0)
+			c := eng.NewCell(0)
+			if err := th.Run(func(tx Txn) error { return Set(tx, c, wide) }); err != nil {
+				t.Fatal(err)
+			}
+			var got64 int64
+			var gotInt int
+			if err := th.RunReadOnly(func(tx Txn) error {
+				var err error
+				if got64, err = Get[int64](tx, c); err != nil {
+					return err
+				}
+				gotInt, err = Get[int](tx, c)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got64 != wide || gotInt != int(wide) {
+				t.Errorf("wide round trip: int64=%d int=%d, want %d", got64, gotInt, wide)
+			}
+		})
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/glock"
+	"repro/internal/val"
 )
 
 // The "glock" backend: the coarse-global-lock honesty baseline. One
@@ -26,27 +27,22 @@ func (e *glockEngine) Name() string { return "glock" }
 
 func (e *glockEngine) NewCell(initial any) Cell { return glock.NewObject(initial) }
 
+// Thread builds the worker context (see adapterThread) with its retry
+// closure and bound method values allocated once: per-transaction Run calls
+// only swap the fn pointer, so the adapter layer adds zero allocations to
+// the native engine's steady state.
 func (e *glockEngine) Thread(id int) Thread {
-	return &glockThread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+	th := e.stm.Thread(id)
+	t := &adapterThread[*glock.Tx]{
+		id: id, counters: e.newCounters(),
+		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+	}
+	t.step = func(tx *glock.Tx) error {
+		t.attempts++
+		return t.fn(glockTxn{tx})
+	}
+	return t
 }
-
-type glockThread struct {
-	id       int
-	th       *glock.Thread
-	counters *txnCounters
-}
-
-func (t *glockThread) ID() int { return t.id }
-
-func (t *glockThread) Run(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.Run, wrapGlock, fn)
-}
-
-func (t *glockThread) RunReadOnly(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.RunReadOnly, wrapGlock, fn)
-}
-
-func wrapGlock(tx *glock.Tx) Txn { return glockTxn{tx} }
 
 type glockTxn struct {
 	tx *glock.Tx
@@ -54,6 +50,23 @@ type glockTxn struct {
 
 func (t glockTxn) Read(c Cell) (any, error)  { return t.tx.Read(glockCell(c)) }
 func (t glockTxn) Write(c Cell, v any) error { return t.tx.Write(glockCell(c), v) }
+
+func (t glockTxn) ReadInt(c Cell) (int64, bool, error) {
+	v, err := t.tx.ReadValue(glockCell(c))
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}
+
+func (t glockTxn) WriteInt(c Cell, v int64) error {
+	return t.tx.WriteValue(glockCell(c), val.OfInt(int(v)))
+}
+
+func (t glockTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
 
 func glockCell(c Cell) *glock.Object {
 	o, ok := c.(*glock.Object)

@@ -98,7 +98,7 @@ func (e *lsaEngine) Unwrap() *core.Runtime { return e.rt }
 
 func (e *lsaEngine) NewCell(initial any) Cell { return core.NewObject(initial) }
 
-func (e *lsaEngine) Thread(id int) Thread { return &lsaThread{th: e.rt.Thread(id)} }
+func (e *lsaEngine) Thread(id int) Thread { return newLSAThread(e.rt.Thread(id)) }
 
 func (e *lsaEngine) Stats() Stats {
 	s := e.rt.Stats()
@@ -113,21 +113,44 @@ func (e *lsaEngine) Stats() Stats {
 		Extensions:      s.Extensions,
 		Helps:           s.Helps,
 		EnemyAborts:     s.EnemyAborts,
+		BoxedCommits:    s.BoxedCommits,
 	}
 }
 
+// lsaThread caches its retry closure: per-transaction Run calls only swap
+// the fn pointer, so the adapter layer adds zero allocations on top of the
+// core's one-Tx-per-attempt contract.
 type lsaThread struct {
-	th *core.Thread
+	th   *core.Thread
+	fn   func(Txn) error
+	step func(*core.Tx) error
+}
+
+func newLSAThread(th *core.Thread) *lsaThread {
+	t := &lsaThread{th: th}
+	t.step = func(tx *core.Tx) error { return t.fn(lsaTxn{tx}) }
+	return t
 }
 
 func (t *lsaThread) ID() int { return t.th.ID() }
 
+// Run saves and restores the fn slot, so a nested transaction on the same
+// Thread (the core runs it as a flat, independent transaction) leaves the
+// outer retry loop's closure intact.
 func (t *lsaThread) Run(fn func(Txn) error) error {
-	return t.th.Run(func(tx *core.Tx) error { return fn(lsaTxn{tx}) })
+	prev := t.fn
+	t.fn = fn
+	err := t.th.Run(t.step)
+	t.fn = prev
+	return err
 }
 
 func (t *lsaThread) RunReadOnly(fn func(Txn) error) error {
-	return t.th.RunReadOnly(func(tx *core.Tx) error { return fn(lsaTxn{tx}) })
+	prev := t.fn
+	t.fn = fn
+	err := t.th.RunReadOnly(t.step)
+	t.fn = prev
+	return err
 }
 
 type lsaTxn struct {
@@ -136,6 +159,13 @@ type lsaTxn struct {
 
 func (t lsaTxn) Read(c Cell) (any, error)  { return t.tx.Read(lsaCell(c)) }
 func (t lsaTxn) Write(c Cell, v any) error { return t.tx.Write(lsaCell(c), v) }
+
+func (t lsaTxn) ReadInt(c Cell) (int64, bool, error) { return t.tx.ReadInt(lsaCell(c)) }
+func (t lsaTxn) WriteInt(c Cell, v int64) error      { return t.tx.WriteInt(lsaCell(c), v) }
+
+func (t lsaTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
 
 func lsaCell(c Cell) *core.Object {
 	o, ok := c.(*core.Object)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/norec"
+	"repro/internal/val"
 )
 
 // The "norec" backend: value-based validation over a single global sequence
@@ -12,9 +13,18 @@ import (
 // but reads touch no shared state until the lock moves, so read-dominated
 // workloads stay cheap at low thread counts. The minimal-metadata
 // counterpoint to every timestamp-ordered engine in the registry.
+//
+// The "norec/striped" backend partitions that one sequence lock by cell:
+// 64 padded stripe locks, per-stripe snapshots re-established together, and
+// commits that lock (in ascending order) and validate only the stripes they
+// touched — the ROADMAP probe for where value-based validation stops being
+// the bottleneck once commits no longer serialize on one cache line.
 func init() {
 	Register("norec", func(o Options) (Engine, error) {
 		return &norecEngine{stm: norec.New()}, nil
+	})
+	Register("norec/striped", func(o Options) (Engine, error) {
+		return &norecStripedEngine{stm: norec.NewStriped()}, nil
 	})
 }
 
@@ -27,27 +37,22 @@ func (e *norecEngine) Name() string { return "norec" }
 
 func (e *norecEngine) NewCell(initial any) Cell { return norec.NewObject(initial) }
 
+// Thread builds the worker context (see adapterThread) with its retry
+// closure and bound method values allocated once: per-transaction Run calls
+// only swap the fn pointer, so the adapter layer adds zero allocations to
+// the native engine's steady state.
 func (e *norecEngine) Thread(id int) Thread {
-	return &norecThread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+	th := e.stm.Thread(id)
+	t := &adapterThread[*norec.Tx]{
+		id: id, counters: e.newCounters(),
+		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+	}
+	t.step = func(tx *norec.Tx) error {
+		t.attempts++
+		return t.fn(norecTxn{tx})
+	}
+	return t
 }
-
-type norecThread struct {
-	id       int
-	th       *norec.Thread
-	counters *txnCounters
-}
-
-func (t *norecThread) ID() int { return t.id }
-
-func (t *norecThread) Run(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.Run, wrapNorec, fn)
-}
-
-func (t *norecThread) RunReadOnly(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.RunReadOnly, wrapNorec, fn)
-}
-
-func wrapNorec(tx *norec.Tx) Txn { return norecTxn{tx} }
 
 type norecTxn struct {
 	tx *norec.Tx
@@ -55,6 +60,71 @@ type norecTxn struct {
 
 func (t norecTxn) Read(c Cell) (any, error)  { return t.tx.Read(norecCell(c)) }
 func (t norecTxn) Write(c Cell, v any) error { return t.tx.Write(norecCell(c), v) }
+
+func (t norecTxn) ReadInt(c Cell) (int64, bool, error) {
+	v, err := t.tx.ReadValue(norecCell(c))
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}
+
+func (t norecTxn) WriteInt(c Cell, v int64) error {
+	return t.tx.WriteValue(norecCell(c), val.OfInt(int(v)))
+}
+
+func (t norecTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
+
+// The striped variant's adapter — same shape over norec.SThread/STx.
+
+type norecStripedEngine struct {
+	stm *norec.StripedSTM
+	counterSet
+}
+
+func (e *norecStripedEngine) Name() string { return "norec/striped" }
+
+func (e *norecStripedEngine) NewCell(initial any) Cell { return norec.NewObject(initial) }
+
+func (e *norecStripedEngine) Thread(id int) Thread {
+	th := e.stm.Thread(id)
+	t := &adapterThread[*norec.STx]{
+		id: id, counters: e.newCounters(),
+		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+	}
+	t.step = func(tx *norec.STx) error {
+		t.attempts++
+		return t.fn(norecSTxn{tx})
+	}
+	return t
+}
+
+type norecSTxn struct {
+	tx *norec.STx
+}
+
+func (t norecSTxn) Read(c Cell) (any, error)  { return t.tx.Read(norecCell(c)) }
+func (t norecSTxn) Write(c Cell, v any) error { return t.tx.Write(norecCell(c), v) }
+
+func (t norecSTxn) ReadInt(c Cell) (int64, bool, error) {
+	v, err := t.tx.ReadValue(norecCell(c))
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}
+
+func (t norecSTxn) WriteInt(c Cell, v int64) error {
+	return t.tx.WriteValue(norecCell(c), val.OfInt(int(v)))
+}
+
+func (t norecSTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
 
 func norecCell(c Cell) *norec.Object {
 	o, ok := c.(*norec.Object)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/rstmval"
+	"repro/internal/val"
 )
 
 // The "rstmval" backend: the validating STM with the RSTM commit-counter
@@ -24,27 +25,22 @@ func (e *rstmEngine) Name() string { return "rstmval" }
 
 func (e *rstmEngine) NewCell(initial any) Cell { return rstmval.NewObject(initial) }
 
+// Thread builds the worker context (see adapterThread) with its retry
+// closure and bound method values allocated once: per-transaction Run calls
+// only swap the fn pointer, so the adapter layer adds zero allocations to
+// the native engine's steady state.
 func (e *rstmEngine) Thread(id int) Thread {
-	return &rstmThread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+	th := e.stm.Thread(id)
+	t := &adapterThread[*rstmval.Tx]{
+		id: id, counters: e.newCounters(),
+		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+	}
+	t.step = func(tx *rstmval.Tx) error {
+		t.attempts++
+		return t.fn(rstmTxn{tx})
+	}
+	return t
 }
-
-type rstmThread struct {
-	id       int
-	th       *rstmval.Thread
-	counters *txnCounters
-}
-
-func (t *rstmThread) ID() int { return t.id }
-
-func (t *rstmThread) Run(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.Run, wrapRSTM, fn)
-}
-
-func (t *rstmThread) RunReadOnly(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.RunReadOnly, wrapRSTM, fn)
-}
-
-func wrapRSTM(tx *rstmval.Tx) Txn { return rstmTxn{tx} }
 
 type rstmTxn struct {
 	tx *rstmval.Tx
@@ -52,6 +48,23 @@ type rstmTxn struct {
 
 func (t rstmTxn) Read(c Cell) (any, error)  { return t.tx.Read(rstmCell(c)) }
 func (t rstmTxn) Write(c Cell, v any) error { return t.tx.Write(rstmCell(c), v) }
+
+func (t rstmTxn) ReadInt(c Cell) (int64, bool, error) {
+	v, err := t.tx.ReadValue(rstmCell(c))
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}
+
+func (t rstmTxn) WriteInt(c Cell, v int64) error {
+	return t.tx.WriteValue(rstmCell(c), val.OfInt(int(v)))
+}
+
+func (t rstmTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
 
 func rstmCell(c Cell) *rstmval.Object {
 	o, ok := c.(*rstmval.Object)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/timebase"
 	"repro/internal/tl2"
+	"repro/internal/val"
 )
 
 // The "tl2" backend: the lean single-version TL2 reimplementation on its
@@ -51,27 +52,22 @@ func (e *tl2Engine) Name() string { return e.name }
 
 func (e *tl2Engine) NewCell(initial any) Cell { return tl2.NewObject(initial) }
 
+// Thread builds the worker context (see adapterThread) with its retry
+// closure and bound method values allocated once: per-transaction Run calls
+// only swap the fn pointer, so the adapter layer adds zero allocations to
+// the native engine's steady state.
 func (e *tl2Engine) Thread(id int) Thread {
-	return &tl2Thread{id: id, th: e.stm.Thread(id), counters: e.newCounters()}
+	th := e.stm.Thread(id)
+	t := &adapterThread[*tl2.Tx]{
+		id: id, counters: e.newCounters(),
+		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+	}
+	t.step = func(tx *tl2.Tx) error {
+		t.attempts++
+		return t.fn(tl2Txn{tx})
+	}
+	return t
 }
-
-type tl2Thread struct {
-	id       int
-	th       *tl2.Thread
-	counters *txnCounters
-}
-
-func (t *tl2Thread) ID() int { return t.id }
-
-func (t *tl2Thread) Run(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.Run, wrapTL2, fn)
-}
-
-func (t *tl2Thread) RunReadOnly(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.RunReadOnly, wrapTL2, fn)
-}
-
-func wrapTL2(tx *tl2.Tx) Txn { return tl2Txn{tx} }
 
 type tl2Txn struct {
 	tx *tl2.Tx
@@ -79,6 +75,23 @@ type tl2Txn struct {
 
 func (t tl2Txn) Read(c Cell) (any, error)  { return t.tx.Read(tl2Cell(c)) }
 func (t tl2Txn) Write(c Cell, v any) error { return t.tx.Write(tl2Cell(c), v) }
+
+func (t tl2Txn) ReadInt(c Cell) (int64, bool, error) {
+	v, err := t.tx.ReadValue(tl2Cell(c))
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}
+
+func (t tl2Txn) WriteInt(c Cell, v int64) error {
+	return t.tx.WriteValue(tl2Cell(c), val.OfInt(int(v)))
+}
+
+func (t tl2Txn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
 
 func tl2Cell(c Cell) *tl2.Object {
 	o, ok := c.(*tl2.Object)

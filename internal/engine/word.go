@@ -14,12 +14,19 @@ import (
 // each cell to one word and encodes values into it:
 //
 //   - small ints are stored immediately, tagged in the low bit (the common
-//     case for the counter workloads — no indirection, no allocation);
-//   - everything else is boxed into an append-only side table and the word
-//     holds the box index. The word remains the single transactional
-//     authority; the side table is immutable once written, so reads stay
-//     consistent. Boxes are never reclaimed — fine for benchmarks and
-//     tests, which is what the comparison backends exist for.
+//     case for the counter workloads — no indirection, no allocation); the
+//     tagged lane doubles as the backend's IntTxn implementation;
+//   - everything else is boxed into a side table and the word holds the box
+//     index. The word remains the single transactional authority; a side
+//     table slot is immutable while referenced, so reads stay consistent.
+//
+// Side-table reclamation: a box created by a transactional Write whose
+// attempt aborts (or whose transaction fails with a user error) was never
+// referenced by any committed word, so its slot is returned to a free list
+// and reused by later encodes — long stress sessions with struct values no
+// longer grow the table per retry. Boxes that become garbage because a
+// committed word was later overwritten are still leaked (reclaiming those
+// needs a transactional read-before-write or epoch scheme; see ROADMAP).
 //
 // Cells consume words permanently (Options.Words sizes the memory), and the
 // backend inherits the word engine's restriction to exact time bases.
@@ -43,6 +50,7 @@ type wordEngine struct {
 
 	boxMu sync.RWMutex
 	boxes []any
+	free  []int64 // reusable side-table slots
 
 	counterSet
 }
@@ -59,7 +67,8 @@ func (e *wordEngine) NewCell(initial any) Cell {
 	}
 	// The word is unpublished until a committed write makes the cell
 	// reachable, so a direct store is safe even mid-run.
-	if err := e.stm.SetInitial(wordstm.Addr(a), e.encode(initial)); err != nil {
+	w, _ := e.encode(initial)
+	if err := e.stm.SetInitial(wordstm.Addr(a), w); err != nil {
 		panic(fmt.Sprintf("engine: wordstm init: %v", err))
 	}
 	return wordCell(a)
@@ -69,15 +78,40 @@ func (e *wordEngine) NewCell(initial any) Cell {
 // costs one bit, so 63 signed bits remain — every n with |n| < 2⁶² fits.
 const immediateMax = 1 << 62
 
-func (e *wordEngine) encode(v any) int64 {
+// encode returns the word for v and, when v was boxed, the side-table slot
+// index (−1 for immediates). Boxed slots come from the free list when one
+// is available.
+func (e *wordEngine) encode(v any) (word, boxIdx int64) {
 	if n, ok := v.(int); ok && n > -immediateMax && n < immediateMax {
-		return int64(n)<<1 | 1
+		return int64(n)<<1 | 1, -1
 	}
 	e.boxMu.Lock()
-	e.boxes = append(e.boxes, v)
-	idx := int64(len(e.boxes) - 1)
+	var idx int64
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.boxes[idx] = v
+	} else {
+		e.boxes = append(e.boxes, v)
+		idx = int64(len(e.boxes) - 1)
+	}
 	e.boxMu.Unlock()
-	return idx << 1
+	return idx << 1, idx
+}
+
+// freeBoxes returns side-table slots to the free list. Only call with slots
+// that no committed word can reference (boxes encoded by attempts that
+// never committed).
+func (e *wordEngine) freeBoxes(idxs []int64) {
+	if len(idxs) == 0 {
+		return
+	}
+	e.boxMu.Lock()
+	for _, idx := range idxs {
+		e.boxes[idx] = nil
+		e.free = append(e.free, idx)
+	}
+	e.boxMu.Unlock()
 }
 
 func (e *wordEngine) decode(w int64) any {
@@ -90,8 +124,25 @@ func (e *wordEngine) decode(w int64) any {
 	return v
 }
 
+// Thread builds the worker context with its retry closure allocated once.
+// The current native Tx lives in the thread (not the Txn wrapper), so the
+// wrapper stays a single pointer and converts to the Txn interface without
+// allocating.
 func (e *wordEngine) Thread(id int) Thread {
-	return &wordThread{id: id, eng: e, th: e.stm.Thread(id), counters: e.newCounters()}
+	t := &wordThread{id: id, eng: e, th: e.stm.Thread(id), counters: e.newCounters()}
+	t.step = func(tx *wordstm.Tx) error {
+		t.attempts++
+		// A previous attempt of this transaction aborted: its boxes were
+		// never published and can be reused.
+		if len(t.pending) > 0 {
+			t.eng.freeBoxes(t.pending)
+			t.pending = t.pending[:0]
+		}
+		t.attemptBoxed = false
+		t.cur = tx
+		return t.fn(wordTxn{t})
+	}
+	return t
 }
 
 type wordThread struct {
@@ -99,37 +150,102 @@ type wordThread struct {
 	eng      *wordEngine
 	th       *wordstm.Thread
 	counters *txnCounters
+	fn       func(Txn) error
+	attempts uint64
+	step     func(*wordstm.Tx) error
+	cur      *wordstm.Tx
+	// pending holds the side-table slots boxed by the current attempt; they
+	// are freed when the attempt provably never committed.
+	pending      []int64
+	attemptBoxed bool
 }
 
 func (t *wordThread) ID() int { return t.id }
 
-func (t *wordThread) wrap(tx *wordstm.Tx) Txn { return wordTxn{eng: t.eng, tx: tx} }
+func (t *wordThread) Run(fn func(Txn) error) error         { return t.run(false, fn) }
+func (t *wordThread) RunReadOnly(fn func(Txn) error) error { return t.run(true, fn) }
 
-func (t *wordThread) Run(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.Run, t.wrap, fn)
-}
-
-func (t *wordThread) RunReadOnly(fn func(Txn) error) error {
-	return runCounted(t.counters, t.th.RunReadOnly, t.wrap, fn)
+// run saves and restores the per-transaction slots, so a nested Run on the
+// same Thread cannot leave the outer retry loop with a nil closure. (A
+// nested transaction's box tracking starts fresh; the outer attempt's
+// pending boxes are dropped untracked — they leak rather than dangle, the
+// safe direction.)
+func (t *wordThread) run(readOnly bool, fn func(Txn) error) error {
+	prevFn, prevAttempts, prevCur := t.fn, t.attempts, t.cur
+	t.fn, t.attempts = fn, 0
+	t.pending = t.pending[:0]
+	t.attemptBoxed = false
+	var err error
+	if readOnly {
+		err = t.th.RunReadOnly(t.step)
+	} else {
+		err = t.th.Run(t.step)
+	}
+	t.counters.record(t.attempts, err)
+	if err == nil {
+		if t.attemptBoxed {
+			t.counters.boxedCommits++
+		}
+		t.pending = t.pending[:0] // committed: the boxes are live
+	} else if len(t.pending) > 0 {
+		// User error: the final attempt never committed either.
+		t.eng.freeBoxes(t.pending)
+		t.pending = t.pending[:0]
+	}
+	t.fn, t.attempts, t.cur = prevFn, prevAttempts, prevCur
+	return err
 }
 
 type wordTxn struct {
-	eng *wordEngine
-	tx  *wordstm.Tx
+	th *wordThread
 }
 
 func (t wordTxn) Read(c Cell) (any, error) {
-	w, err := t.tx.Load(wordstm.Addr(wordCellOf(c)))
+	w, err := t.th.cur.Load(wordstm.Addr(wordCellOf(c)))
 	if err != nil {
 		return nil, err
 	}
-	return t.eng.decode(w), nil
+	return t.th.eng.decode(w), nil
 }
 
 func (t wordTxn) Write(c Cell, v any) error {
-	// Encoding before the Store may box a value for an attempt that later
-	// aborts; the orphaned box is just garbage in the side table.
-	return t.tx.Store(wordstm.Addr(wordCellOf(c)), t.eng.encode(v))
+	w, boxIdx := t.th.eng.encode(v)
+	if boxIdx >= 0 {
+		t.th.pending = append(t.th.pending, boxIdx)
+		t.th.attemptBoxed = true
+	}
+	return t.th.cur.Store(wordstm.Addr(wordCellOf(c)), w)
+}
+
+func (t wordTxn) ReadInt(c Cell) (int64, bool, error) {
+	w, err := t.th.cur.Load(wordstm.Addr(wordCellOf(c)))
+	if err != nil {
+		return 0, false, err
+	}
+	if w&1 == 1 {
+		return w >> 1, true, nil
+	}
+	// Ints whose magnitude exceeds the 63-bit immediate range live in the
+	// side table; the numeric lane still serves them, so Get[int] and
+	// Get[int64] round-trip the full 64-bit range like every other backend.
+	switch n := t.th.eng.decode(w).(type) {
+	case int:
+		return int64(n), true, nil
+	case int64:
+		return n, true, nil
+	}
+	return 0, false, nil
+}
+
+func (t wordTxn) WriteInt(c Cell, v int64) error {
+	if n := int(v); n > -immediateMax && n < immediateMax {
+		return t.th.cur.Store(wordstm.Addr(wordCellOf(c)), int64(n)<<1|1)
+	}
+	return t.Write(c, int(v)) // |v| ≥ 2⁶²: the word cannot hold it tagged
+}
+
+func (t wordTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
 }
 
 func wordCellOf(c Cell) wordCell {

@@ -1,22 +1,13 @@
-package tl2
+package glock
 
-// Allocation budgets for the TL2 fast paths — the ratchet behind the
-// repo-root BenchmarkSmallTxAllocs trend. The Thread recycles its one Tx
-// (read/write logs, promoted index) across attempts, nothing an attempt
-// builds escapes it, and with the typed value lane the write-back of a
-// numeric payload lands in the cell's atomic word, so the steady-state
-// costs are:
-//
-//   - read-only, small read set: 0 — TL2 read-only transactions keep no
-//     read set at all.
-//   - update, 2 int writes: 1 — commit publishes one fresh shared version
-//     word (*verMeta) per transaction; it escapes to readers by design and
-//     is the floor for the versioned-word representation. Escape-hatch
-//     (boxed) payloads would add one snapshot pointer per written object.
+// Allocation budgets for the coarse-lock baseline: the Thread recycles its
+// one Tx, cells are plain typed slots under the global lock, and numeric
+// payloads ride the unboxed lane — a small int-valued transaction allocates
+// nothing at all, read-only or update. The honesty baseline is honest about
+// GC pressure too.
 //
 // Values are written far outside the runtime's small-int interface cache
-// (> 2⁴⁰) through the typed lane, so these budgets prove zero boxing
-// allocations per int write.
+// (> 2⁴⁰) through the typed lane.
 
 import (
 	"testing"
@@ -26,7 +17,7 @@ import (
 
 func allocBudget(t *testing.T, name string, budget float64, f func()) {
 	t.Helper()
-	f() // warm the recycled logs before AllocsPerRun's own warmup
+	f() // warm the recycled write buffer before AllocsPerRun's own warmup
 	if got := testing.AllocsPerRun(200, f); got > budget {
 		t.Errorf("%s: %.1f allocs/run, budget %.0f", name, got, budget)
 	}
@@ -45,7 +36,7 @@ func TestAllocBudgetReadOnlySmall(t *testing.T) {
 		_, err := tx.ReadValue(b)
 		return err
 	}
-	allocBudget(t, "tl2 read-only 2 reads", 0, func() {
+	allocBudget(t, "glock read-only 2 reads", 0, func() {
 		if err := th.RunReadOnly(fn); err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +61,7 @@ func TestAllocBudgetUpdateSmall(t *testing.T) {
 		}
 		return bump(tx, b)
 	}
-	allocBudget(t, "tl2 2-write update", 1, func() {
+	allocBudget(t, "glock 2-write update", 0, func() {
 		if err := th.Run(fn); err != nil {
 			t.Fatal(err)
 		}

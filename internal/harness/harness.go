@@ -100,14 +100,23 @@ func (r Result) Validate() error {
 		return fmt.Errorf("harness: %s/%s: zero transactions inside the measured interval", r.Workload, r.Engine)
 	case r.Throughput <= 0:
 		return fmt.Errorf("harness: %s/%s: non-positive throughput %f with %d txs", r.Workload, r.Engine, r.Throughput, r.Txs)
-	case r.AllocsPerCommit <= 0 || r.BytesPerCommit <= 0:
-		// Every engine allocates through the any-valued interface (value
-		// boxing at minimum), and the interval delta always includes the
-		// harness's own timer allocations — a zero here means the snapshot
-		// predates the alloc telemetry or the fields were stripped.
-		return fmt.Errorf("harness: %s/%s: missing alloc telemetry (allocs/commit=%f, bytes/commit=%f)",
+	case r.AllocsPerCommit < 0 || r.BytesPerCommit < 0:
+		return fmt.Errorf("harness: %s/%s: negative alloc telemetry (allocs/commit=%f, bytes/commit=%f)",
+			r.Workload, r.Engine, r.AllocsPerCommit, r.BytesPerCommit)
+	case (r.AllocsPerCommit == 0) != (r.BytesPerCommit == 0):
+		// Telemetry is taken from one ReadMemStats delta: allocations and
+		// bytes are zero together or positive together. A mismatch means a
+		// stripped or hand-edited field.
+		return fmt.Errorf("harness: %s/%s: inconsistent alloc telemetry (allocs/commit=%f, bytes/commit=%f)",
 			r.Workload, r.Engine, r.AllocsPerCommit, r.BytesPerCommit)
 	}
+	// Both-zero alloc telemetry is legitimate since the typed value lane:
+	// engines like glock and norec commit int-valued workloads with zero
+	// process-wide allocations over a whole measured interval. Detecting a
+	// snapshot that predates the telemetry entirely is therefore a
+	// snapshot-level check (cmd/benchcheck: at least one record must carry
+	// nonzero telemetry). Stats.BoxedCommits (the boxed% column) is
+	// likewise accepted but never required.
 	return nil
 }
 

@@ -52,20 +52,31 @@ func TestRunMeasuresThroughput(t *testing.T) {
 	}
 }
 
-func TestValidateRejectsMissingAllocTelemetry(t *testing.T) {
+func TestValidateAllocTelemetryConsistency(t *testing.T) {
 	eng, _ := mkCounterEng()
 	w := &workload.Disjoint{Accesses: 4}
 	res, err := Run(eng, w, Options{Workers: 1, Duration: 20 * time.Millisecond, Warmup: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// One axis zeroed while the other is positive: a stripped field.
 	res.AllocsPerCommit = 0
 	if err := res.Validate(); err == nil {
-		t.Error("zero allocs/commit must be rejected (snapshot predates telemetry)")
+		t.Error("allocs=0 with bytes>0 must be rejected (stripped field)")
 	}
 	res.AllocsPerCommit, res.BytesPerCommit = 10, 0
 	if err := res.Validate(); err == nil {
-		t.Error("zero bytes/commit must be rejected")
+		t.Error("bytes=0 with allocs>0 must be rejected")
+	}
+	res.AllocsPerCommit, res.BytesPerCommit = -1, -8
+	if err := res.Validate(); err == nil {
+		t.Error("negative telemetry must be rejected")
+	}
+	// Both zero is legitimate since the unboxed value lane: engines like
+	// glock commit int-valued intervals with zero process-wide allocations.
+	res.AllocsPerCommit, res.BytesPerCommit = 0, 0
+	if err := res.Validate(); err != nil {
+		t.Errorf("zero-allocation interval rejected: %v", err)
 	}
 }
 
@@ -120,10 +131,16 @@ func TestSweep(t *testing.T) {
 func TestRunAcross(t *testing.T) {
 	engines := []string{"lsa/shared", "tl2", "rstmval", "wordstm"}
 	mk := func() []Workload {
-		return []Workload{&workload.Bank{Accounts: 8, Seed: 3}}
+		// AuditRatio < 0 disables the read-only audits: on a 1-core CI host
+		// an 8-cell audit can starve against nonstop transfers for the whole
+		// short measured interval on the single-version engines, and this
+		// test checks RunAcross's plumbing, not STM fairness.
+		return []Workload{&workload.Bank{Accounts: 8, Seed: 3, AuditRatio: -1}}
 	}
+	// 60 ms: on a loaded 1-core CI host a 20 ms measured interval can land
+	// entirely inside one scheduling hiccup and see zero commits.
 	results, err := RunAcross(engines, mk, engine.Options{Nodes: 2},
-		Options{Workers: 2, Duration: 20 * time.Millisecond, Warmup: 5 * time.Millisecond})
+		Options{Workers: 2, Duration: 60 * time.Millisecond, Warmup: 5 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,5 +165,28 @@ func TestRunAcrossUnknownEngine(t *testing.T) {
 	if _, err := RunAcross([]string{"nope"}, mk, engine.Options{},
 		Options{Workers: 1, Duration: time.Millisecond}); err == nil {
 		t.Error("unknown engine must error")
+	}
+}
+
+// TestValidateDoesNotRequireBoxedCounters: the boxed% telemetry
+// (Stats.BoxedCommits) is accepted but never required, so records from
+// snapshots that predate the typed value lane — and records from runs whose
+// commits all rode the unboxed lane — validate unchanged.
+func TestValidateDoesNotRequireBoxedCounters(t *testing.T) {
+	r := Result{
+		Workload: "bank/64", Engine: "norec", Workers: 2,
+		Elapsed: 50 * time.Millisecond, Txs: 10, Throughput: 200,
+		AllocsPerCommit: 1, BytesPerCommit: 8,
+		Stats: engine.Stats{Commits: 10},
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("record without boxed counters rejected: %v", err)
+	}
+	r.Stats.BoxedCommits = 4
+	if err := r.Validate(); err != nil {
+		t.Errorf("record with boxed counters rejected: %v", err)
+	}
+	if got := r.Stats.BoxedShare(); got != 0.4 {
+		t.Errorf("BoxedShare = %v, want 0.4", got)
 	}
 }

@@ -17,20 +17,25 @@
 // its time base is the sequence lock itself, so commits serialize on one
 // cache line just like a shared-counter STM — but reads never touch shared
 // metadata until the counter moves, which keeps read-dominated workloads
-// cheap at low thread counts.
+// cheap at low thread counts. The StripedSTM variant in striped.go
+// partitions that one lock by cell and is the probe for where value-based
+// validation stops being the bottleneck.
 //
-// Cells store immutable value snapshots behind an atomic pointer, so the
-// value log records the observed snapshot pointer: pointer equality proves
-// the value is unchanged, and when pointers differ the values themselves are
-// compared (for comparable types), which preserves NOrec's tolerance of
-// silently restored values.
+// Cells are typed two-word slots (val.AtomicCell): numeric payloads live
+// unboxed in an atomic machine word, so an int-valued commit writes back
+// without allocating; boxed payloads publish a fresh snapshot pointer, and
+// the value log records the raw (num, box) snapshot — pointer equality
+// proves a boxed value unchanged, and when pointers differ the values
+// themselves are compared, which preserves NOrec's tolerance of silently
+// restored values.
 package norec
 
 import (
 	"errors"
-	"reflect"
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/val"
 )
 
 // ErrAborted signals that the transaction attempt failed and was retried.
@@ -69,30 +74,57 @@ func (s *STM) waitQuiescent() int64 {
 	}
 }
 
-// Object is a transactional cell: just the current value snapshot. NOrec
-// keeps no per-object metadata — that is the point.
+// sidCounter assigns stripe ids to objects at creation, round-robin, so the
+// striped variant spreads adjacent cells evenly with no pointer hashing.
+var sidCounter atomic.Uint32
+
+// Object is a transactional cell: just the current typed value slot. NOrec
+// keeps no per-object consistency metadata — that is the point; sid only
+// names the stripe the cell validates against under the striped variant.
 type Object struct {
-	val atomic.Pointer[any]
+	cell val.AtomicCell
+	sid  uint32
 }
 
 // NewObject creates an object holding initial.
 func NewObject(initial any) *Object {
-	o := &Object{}
-	v := initial
-	o.val.Store(&v)
+	o := &Object{sid: sidCounter.Add(1) - 1}
+	o.cell.Store(val.OfAny(initial))
 	return o
 }
 
-// readEntry is one value-log record: the object and the value snapshot
-// observed, identified by its pointer.
+// readEntry is one value-log record: the object and the raw (num, box)
+// snapshot observed.
 type readEntry struct {
-	obj  *Object
-	seen *any
+	obj *Object
+	num int64
+	box *any
+}
+
+// stillValid re-checks one value-log entry against current memory: the
+// pointer fast path first (a lane tag additionally compares the numeric
+// word), then the value comparison. On a value match behind a fresh pointer
+// (a silent restore) the entry adopts the current snapshot so future
+// pointer checks stay fast. Callers guarantee stability externally (the
+// sequence lock re-check around the scan).
+func stillValid(r *readEntry) bool {
+	num, box := r.obj.cell.Snapshot()
+	if box == r.box {
+		if _, tag := val.TagKind(box); tag {
+			return num == r.num
+		}
+		return true
+	}
+	if !val.Decode(num, box).Equal(val.Decode(r.num, r.box)) {
+		return false
+	}
+	r.num, r.box = num, box
+	return true
 }
 
 type writeEntry struct {
 	obj *Object
-	val any
+	v   val.Value
 }
 
 // smallWriteSet is the write-set size up to which lookup scans the entries
@@ -101,6 +133,62 @@ type writeEntry struct {
 // write a handful of objects, and for those a backward scan over a
 // contiguous slice beats a map's hashing and per-attempt clearing cost.
 const smallWriteSet = 8
+
+// writeSet is the buffered write log shared by the plain and striped
+// transaction types: entries, the promoted index beyond smallWriteSet, and
+// the spare map that survives attempts so a large write set pays the map
+// allocation once per thread.
+type writeSet struct {
+	writes     []writeEntry
+	windex     map[*Object]int // nil while the write set is small
+	spareIndex map[*Object]int
+}
+
+// reset rearms the log for reuse. Truncating keeps the backing array (and,
+// harmlessly, stale pointers in the unused capacity until overwritten —
+// bounded by the largest set this thread has seen).
+func (ws *writeSet) reset() {
+	ws.writes = ws.writes[:0]
+	ws.windex = nil
+}
+
+// lookup finds the write-set entry for o: a linear scan while the set is
+// small, the map built by add beyond that. A miss returns index −1 (0 is a
+// valid entry index).
+func (ws *writeSet) lookup(o *Object) (int, bool) {
+	if ws.windex != nil {
+		if idx, ok := ws.windex[o]; ok {
+			return idx, true
+		}
+		return -1, false
+	}
+	for i := len(ws.writes) - 1; i >= 0; i-- {
+		if ws.writes[i].obj == o {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// add appends a write-set entry; crossing smallWriteSet promotes the index
+// to the reusable map (cleared, not reallocated, after the first promotion
+// on this thread).
+func (ws *writeSet) add(o *Object, v val.Value) {
+	ws.writes = append(ws.writes, writeEntry{obj: o, v: v})
+	if ws.windex != nil {
+		ws.windex[o] = len(ws.writes) - 1
+	} else if len(ws.writes) > smallWriteSet {
+		if ws.spareIndex == nil {
+			ws.spareIndex = make(map[*Object]int, 4*smallWriteSet)
+		} else {
+			clear(ws.spareIndex)
+		}
+		ws.windex = ws.spareIndex
+		for i := range ws.writes {
+			ws.windex[ws.writes[i].obj] = i
+		}
+	}
+}
 
 // Tx is one NOrec transaction attempt. Attempts are recycled across retries
 // by their Thread: unlike the LSA core — where helpers may validate a
@@ -113,107 +201,64 @@ type Tx struct {
 	stm      *STM
 	snapshot int64 // sequence-lock value the read set is consistent at
 	readOnly bool
+	boxed    bool // some write took the escape hatch
 	reads    []readEntry
-	writes   []writeEntry
-	windex   map[*Object]int // nil while the write set is small
-	// spareIndex keeps the promoted map alive between attempts so a large
-	// write set pays the map allocation once per thread, not per attempt.
-	spareIndex map[*Object]int
+	writeSet
 }
 
-// reset rearms the attempt for reuse. Truncating the logs keeps their
-// backing arrays (and, harmlessly, stale pointers in the unused capacity
-// until overwritten — bounded by the largest set this thread has seen).
+// reset rearms the attempt for reuse.
 func (tx *Tx) reset(stm *STM, readOnly bool) {
 	tx.stm = stm
 	tx.snapshot = stm.waitQuiescent()
 	tx.readOnly = readOnly
+	tx.boxed = false
 	tx.reads = tx.reads[:0]
-	tx.writes = tx.writes[:0]
-	tx.windex = nil
+	tx.writeSet.reset()
 }
 
-// wlookup finds the write-set entry for o: a linear scan while the set is
-// small, the map built by wadd beyond that. A miss returns index −1 (0 is a
-// valid entry index).
-func (tx *Tx) wlookup(o *Object) (int, bool) {
-	if tx.windex != nil {
-		if idx, ok := tx.windex[o]; ok {
-			return idx, true
-		}
-		return -1, false
+// Read returns o's value in the transaction's snapshot as `any` — the
+// generic escape-hatch view of ReadValue.
+func (tx *Tx) Read(o *Object) (any, error) {
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return nil, err
 	}
-	for i := len(tx.writes) - 1; i >= 0; i-- {
-		if tx.writes[i].obj == o {
-			return i, true
-		}
-	}
-	return -1, false
+	return v.Load(), nil
 }
 
-// wadd appends a write-set entry; crossing smallWriteSet promotes the index
-// to the attempt's reusable map (cleared, not reallocated, after the first
-// promotion on this thread).
-func (tx *Tx) wadd(o *Object, val any) {
-	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
-	if tx.windex != nil {
-		tx.windex[o] = len(tx.writes) - 1
-	} else if len(tx.writes) > smallWriteSet {
-		if tx.spareIndex == nil {
-			tx.spareIndex = make(map[*Object]int, 4*smallWriteSet)
-		} else {
-			clear(tx.spareIndex)
-		}
-		tx.windex = tx.spareIndex
-		for i := range tx.writes {
-			tx.windex[tx.writes[i].obj] = i
-		}
-	}
-}
-
-// Read returns o's value in the transaction's snapshot, extending the
+// ReadValue returns o's value in the transaction's snapshot, extending the
 // snapshot (by re-validating the value log) whenever the sequence lock has
 // moved since the last validation.
-func (tx *Tx) Read(o *Object) (any, error) {
-	if idx, ok := tx.wlookup(o); ok {
-		return tx.writes[idx].val, nil
+func (tx *Tx) ReadValue(o *Object) (val.Value, error) {
+	if idx, ok := tx.lookup(o); ok {
+		return tx.writes[idx].v, nil
 	}
 	for {
-		vp := o.val.Load()
+		num, box := o.cell.Snapshot()
 		if tx.stm.seq.Load() == tx.snapshot {
-			// No commit since the snapshot: vp is consistent with every
-			// previously logged value.
-			tx.reads = append(tx.reads, readEntry{obj: o, seen: vp})
-			return *vp, nil
+			// No commit since the snapshot: the pair is consistent with
+			// every previously logged value.
+			tx.reads = append(tx.reads, readEntry{obj: o, num: num, box: box})
+			return val.Decode(num, box), nil
 		}
 		// The clock bumped: re-validate the whole log, which also advances
 		// the snapshot, then retry the read under the new snapshot.
 		if err := tx.revalidate(); err != nil {
-			return nil, err
+			return val.Value{}, err
 		}
 	}
 }
 
 // revalidate re-checks the entire value log against current memory and, on
 // success, moves the snapshot up to a sequence-lock value the log is
-// consistent at (NOrec's validate loop). Value-based: a log entry passes if
-// the observed snapshot pointer is unchanged, or if the current value
-// compares equal to the logged one.
+// consistent at (NOrec's validate loop).
 func (tx *Tx) revalidate() error {
 	for {
 		s := tx.stm.waitQuiescent()
 		for i := range tx.reads {
-			r := &tx.reads[i]
-			cur := r.obj.val.Load()
-			if cur == r.seen {
-				continue
-			}
-			if !valuesEqual(*cur, *r.seen) {
+			if !stillValid(&tx.reads[i]) {
 				return ErrAborted
 			}
-			// Same value behind a fresh pointer (a silent restore): adopt
-			// the current pointer so future pointer checks stay fast.
-			r.seen = cur
 		}
 		// The log only proves consistency at s if no writer committed while
 		// we scanned it.
@@ -224,39 +269,25 @@ func (tx *Tx) revalidate() error {
 	}
 }
 
-// valuesEqual is the value-based comparison of the validation step. Values
-// of uncomparable types (slices, maps) cannot be checked cheaply and count
-// as changed — for those the pointer fast path in revalidate is the only
-// way to pass, which is safe, merely conservative. Type.Comparable is a
-// static property, so a comparable-typed value can still hold an
-// uncomparable dynamic value in an interface field; the recover turns that
-// panic into "changed" as well.
-func valuesEqual(a, b any) (eq bool) {
-	if a == nil || b == nil {
-		return a == nil && b == nil
-	}
-	ta := reflect.TypeOf(a)
-	if ta != reflect.TypeOf(b) || !ta.Comparable() {
-		return false
-	}
-	defer func() {
-		if recover() != nil {
-			eq = false
-		}
-	}()
-	return a == b
+// Write buffers the new value; it becomes visible at commit — the generic
+// escape-hatch view of WriteValue.
+func (tx *Tx) Write(o *Object, v any) error {
+	return tx.WriteValue(o, val.OfAny(v))
 }
 
-// Write buffers the new value; it becomes visible at commit.
-func (tx *Tx) Write(o *Object, val any) error {
+// WriteValue buffers the new typed value; numeric-lane values never box.
+func (tx *Tx) WriteValue(o *Object, v val.Value) error {
 	if tx.readOnly {
 		return ErrReadOnly
 	}
-	if idx, ok := tx.wlookup(o); ok {
-		tx.writes[idx].val = val
+	if v.Kind() == val.KindBoxed {
+		tx.boxed = true
+	}
+	if idx, ok := tx.lookup(o); ok {
+		tx.writes[idx].v = v
 		return nil
 	}
-	tx.wadd(o, val)
+	tx.add(o, v)
 	return nil
 }
 
@@ -276,11 +307,11 @@ func (tx *Tx) commit() error {
 			return err
 		}
 	}
-	// Sequence lock held (odd): write back the buffered values.
+	// Sequence lock held (odd): write back the buffered values. Numeric
+	// payloads land in the cells' atomic words — no allocation.
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		v := w.val
-		w.obj.val.Store(&v)
+		w.obj.cell.Store(w.v)
 	}
 	tx.stm.seq.Store(tx.snapshot + 2)
 	return nil
@@ -290,12 +321,17 @@ func (tx *Tx) commit() error {
 // Thread so workloads translate directly). It owns the one Tx it recycles
 // across attempts — a Thread must be used by a single goroutine.
 type Thread struct {
-	stm *STM
-	tx  Tx
+	stm          *STM
+	tx           Tx
+	boxedCommits uint64
 }
 
 // Thread creates a worker context.
 func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
+
+// BoxedCommits returns how many of this thread's commits wrote at least one
+// escape-hatch (boxed) payload.
+func (t *Thread) BoxedCommits() uint64 { return t.boxedCommits }
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
@@ -314,6 +350,9 @@ func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 			err = tx.commit()
 		}
 		if err == nil {
+			if tx.boxed {
+				t.boxedCommits++
+			}
 			return nil
 		}
 		if !errors.Is(err, ErrAborted) {

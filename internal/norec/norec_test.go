@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"repro/internal/val"
 )
 
 func TestReadInitialAndCommit(t *testing.T) {
@@ -241,7 +243,7 @@ func TestSnapshotConsistencyPair(t *testing.T) {
 	writer.Wait()
 }
 
-func TestValuesEqual(t *testing.T) {
+func TestValueEquality(t *testing.T) {
 	cases := []struct {
 		a, b any
 		want bool
@@ -259,8 +261,8 @@ func TestValuesEqual(t *testing.T) {
 		{struct{ v any }{1}, struct{ v any }{1}, true},
 	}
 	for _, c := range cases {
-		if got := valuesEqual(c.a, c.b); got != c.want {
-			t.Errorf("valuesEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		if got := val.OfAny(c.a).Equal(val.OfAny(c.b)); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,346 @@
+package norec
+
+// The striped variant: NOrec with a partitioned sequence lock. Plain NOrec
+// serializes every update commit on one global sequence-lock cache line —
+// the extreme single-counter design, and (per ROADMAP) the probe target for
+// where value-based validation stops being the bottleneck. StripedSTM
+// shards that lock: every cell belongs to one of stripeCount stripes (round
+// robin at creation), each stripe carries its own sequence lock, and a
+// transaction validates only the stripes it touched. Disjoint commits bump
+// disjoint cache lines and proceed in parallel.
+//
+// Consistency protocol:
+//
+//   - Reads keep one snapshot per touched stripe. All per-stripe snapshots
+//     are (re)established together — establish() waits for every touched
+//     stripe to be quiescent, re-validates the whole value log, and
+//     confirms no touched stripe moved during the scan — so the log is
+//     always consistent at one common point, the latest establishment. A
+//     read in a stripe whose sequence is unchanged since that point returns
+//     a value that was current at it; a moved (or locked) stripe triggers
+//     re-establishment, which is where "validate only touched stripes"
+//     replaces NOrec's global revalidation.
+//
+//   - Commit locks the write stripes in ascending index order (no deadlock
+//     among lockers), then validates the read log: held stripes are stable
+//     by ownership, foreign stripes are checked under the quiescence
+//     re-check loop, and a stripe that stays locked by someone else aborts
+//     the commit after a bounded spin — waiting forever could deadlock with
+//     a holder that is validating against one of *our* stripes. After
+//     validation the buffered writes land in the cells and every held
+//     stripe is released with +2; an aborted commit restores the exact
+//     pre-lock sequence values (no writes happened, so readers that
+//     snapshotted them stay valid).
+//
+// The cross-commit serializability argument is the TL2-shaped one: for two
+// transactions to miss each other's writes, each would have to validate its
+// reads before the other locked its write stripes, and each validation
+// observes the other's write stripes unlocked and unchanged — which orders
+// each validation before the other's lock acquisition, a cycle.
+
+import (
+	"errors"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/val"
+)
+
+// stripeCount is the number of sequence-lock stripes. A power of two; 64
+// stripes × one cache line each keep a universe's lock table at 4 KiB while
+// making same-stripe collisions rare for the bench workloads' cell counts.
+const stripeCount = 64
+
+const stripeMask = stripeCount - 1
+
+// stripe is one padded sequence lock (even = quiescent, odd = locked).
+type stripe struct {
+	seq atomic.Int64
+	_   [56]byte
+}
+
+// waitQuiescent spins until the stripe is even and returns its value.
+func (s *stripe) waitQuiescent() int64 {
+	for i := 0; ; i++ {
+		v := s.seq.Load()
+		if v&1 == 0 {
+			return v
+		}
+		if i > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// StripedSTM is a NOrec universe with a partitioned sequence lock.
+type StripedSTM struct {
+	stripes [stripeCount]stripe
+}
+
+// NewStriped creates a striped universe with all stripe locks at zero.
+func NewStriped() *StripedSTM { return &StripedSTM{} }
+
+// stripeIndex maps an object to its stripe.
+func stripeIndex(o *Object) uint { return uint(o.sid) & stripeMask }
+
+// STx is one transaction attempt against a striped universe. Like the plain
+// Tx it is recycled by its thread: nothing an attempt builds escapes it.
+type STx struct {
+	stm      *StripedSTM
+	readOnly bool
+	boxed    bool
+	reads    []readEntry
+	writeSet
+	// touched marks stripes with a valid snapshot; snaps[s] is the stripe's
+	// sequence value at the latest establishment (one common consistency
+	// point for all touched stripes).
+	touched uint64
+	snaps   [stripeCount]int64
+	// lockVals[s] is the pre-lock (even) sequence value of each stripe held
+	// during commit, for release or restore.
+	lockVals [stripeCount]int64
+}
+
+func (tx *STx) reset(stm *StripedSTM, readOnly bool) {
+	tx.stm = stm
+	tx.readOnly = readOnly
+	tx.boxed = false
+	tx.reads = tx.reads[:0]
+	tx.writeSet.reset()
+	tx.touched = 0
+}
+
+// establish (re)snapshots every touched stripe plus newBits at one common
+// quiescent point. Value-log entries are re-validated only when their
+// stripe's sequence moved since its last snapshot — an unchanged stripe's
+// cells are untouched, so its logged values extend to the new point for
+// free, which keeps a transaction that fans out over many stripes linear
+// in its reads instead of quadratic. Called with no stripe locks held, so
+// unbounded waiting cannot deadlock.
+func (tx *STx) establish(newBits uint64) error {
+	want := tx.touched | newBits
+	for {
+		var cur [stripeCount]int64
+		for m := want; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			cur[s] = tx.stm.stripes[s].waitQuiescent()
+		}
+		// Entries only exist in touched stripes, whose snaps are valid.
+		for i := range tx.reads {
+			r := &tx.reads[i]
+			if s := stripeIndex(r.obj); cur[s] == tx.snaps[s] {
+				continue
+			}
+			if !stillValid(r) {
+				return ErrAborted
+			}
+		}
+		stable := true
+		for m := want; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			if tx.stm.stripes[s].seq.Load() != cur[s] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			for m := want; m != 0; m &= m - 1 {
+				s := uint(bits.TrailingZeros64(m))
+				tx.snaps[s] = cur[s]
+			}
+			tx.touched = want
+			return nil
+		}
+	}
+}
+
+// Read returns o's value in the transaction's snapshot as `any`.
+func (tx *STx) Read(o *Object) (any, error) {
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return nil, err
+	}
+	return v.Load(), nil
+}
+
+// ReadValue returns o's value in the transaction's snapshot, re-establishing
+// the per-stripe snapshots whenever o's stripe has moved.
+func (tx *STx) ReadValue(o *Object) (val.Value, error) {
+	if idx, ok := tx.lookup(o); ok {
+		return tx.writes[idx].v, nil
+	}
+	s := stripeIndex(o)
+	bit := uint64(1) << s
+	for {
+		if tx.touched&bit == 0 || tx.stm.stripes[s].seq.Load() != tx.snaps[s] {
+			if err := tx.establish(bit); err != nil {
+				return val.Value{}, err
+			}
+			continue
+		}
+		num, box := o.cell.Snapshot()
+		if tx.stm.stripes[s].seq.Load() != tx.snaps[s] {
+			continue // a commit landed between the loads; re-establish
+		}
+		tx.reads = append(tx.reads, readEntry{obj: o, num: num, box: box})
+		return val.Decode(num, box), nil
+	}
+}
+
+// Write buffers the new value; it becomes visible at commit.
+func (tx *STx) Write(o *Object, v any) error {
+	return tx.WriteValue(o, val.OfAny(v))
+}
+
+// WriteValue buffers the new typed value; numeric-lane values never box.
+func (tx *STx) WriteValue(o *Object, v val.Value) error {
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if v.Kind() == val.KindBoxed {
+		tx.boxed = true
+	}
+	if idx, ok := tx.lookup(o); ok {
+		tx.writes[idx].v = v
+		return nil
+	}
+	tx.add(o, v)
+	return nil
+}
+
+// commit locks the write stripes, validates the read log, writes back, and
+// releases. Read-only (and write-free) transactions are already consistent
+// at the latest establishment and commit without touching any lock.
+func (tx *STx) commit() error {
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	var wmask uint64
+	for i := range tx.writes {
+		wmask |= uint64(1) << stripeIndex(tx.writes[i].obj)
+	}
+	// Phase 1: lock write stripes in ascending index order. Spinning on a
+	// foreign holder here cannot deadlock: holders only wait (boundedly) in
+	// validation, never on lower-indexed locks.
+	for m := wmask; m != 0; m &= m - 1 {
+		s := uint(bits.TrailingZeros64(m))
+		st := &tx.stm.stripes[s]
+		for i := 0; ; i++ {
+			v := st.seq.Load()
+			if v&1 == 0 && st.seq.CompareAndSwap(v, v+1) {
+				tx.lockVals[s] = v
+				break
+			}
+			if i > 32 {
+				runtime.Gosched()
+			}
+		}
+	}
+	// Phase 2: validate the read log. Entries in held stripes are stable by
+	// ownership; foreign read stripes are re-checked for quiescence and
+	// stability around the scan, with a bounded number of rounds — a stripe
+	// held by a committer that is itself validating against one of our
+	// stripes must resolve by one of us aborting.
+	var rmask uint64
+	for i := range tx.reads {
+		rmask |= uint64(1) << stripeIndex(tx.reads[i].obj)
+	}
+	foreign := rmask &^ wmask
+	var cur [stripeCount]int64
+rounds:
+	for round := 0; ; round++ {
+		if round >= 64 {
+			tx.release(wmask, false)
+			return ErrAborted
+		}
+		for m := foreign; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			v := tx.stm.stripes[s].seq.Load()
+			if v&1 == 1 {
+				runtime.Gosched()
+				continue rounds
+			}
+			cur[s] = v
+		}
+		for i := range tx.reads {
+			if !stillValid(&tx.reads[i]) {
+				tx.release(wmask, false)
+				return ErrAborted
+			}
+		}
+		for m := foreign; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			if tx.stm.stripes[s].seq.Load() != cur[s] {
+				continue rounds
+			}
+		}
+		break
+	}
+	// Phase 3: write back (numeric payloads allocation-free), then release
+	// each stripe with the next even value.
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		w.obj.cell.Store(w.v)
+	}
+	tx.release(wmask, true)
+	return nil
+}
+
+// release unlocks every stripe in mask: committed stripes advance by two,
+// aborted ones restore the exact pre-lock value (no writes happened, so
+// concurrent logs snapshotted at it remain valid).
+func (tx *STx) release(mask uint64, committed bool) {
+	for m := mask; m != 0; m &= m - 1 {
+		s := uint(bits.TrailingZeros64(m))
+		v := tx.lockVals[s]
+		if committed {
+			v += 2
+		}
+		tx.stm.stripes[s].seq.Store(v)
+	}
+}
+
+// SThread is a worker context for the striped universe. It owns the one STx
+// it recycles across attempts — single goroutine only.
+type SThread struct {
+	stm          *StripedSTM
+	tx           STx
+	boxedCommits uint64
+}
+
+// Thread creates a worker context.
+func (s *StripedSTM) Thread(id int) *SThread { return &SThread{stm: s} }
+
+// BoxedCommits returns how many of this thread's commits wrote at least one
+// escape-hatch (boxed) payload.
+func (t *SThread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// Run executes fn transactionally, retrying on aborts.
+func (t *SThread) Run(fn func(*STx) error) error { return t.run(false, fn) }
+
+// RunReadOnly executes fn as a read-only transaction (writes rejected).
+func (t *SThread) RunReadOnly(fn func(*STx) error) error { return t.run(true, fn) }
+
+func (t *SThread) run(readOnly bool, fn func(*STx) error) error {
+	tx := &t.tx
+	for attempt := 0; ; attempt++ {
+		tx.reset(t.stm, readOnly)
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit()
+		}
+		if err == nil {
+			if tx.boxed {
+				t.boxedCommits++
+			}
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+		if attempt > 2 {
+			runtime.Gosched()
+		}
+	}
+}

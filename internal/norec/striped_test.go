@@ -1,0 +1,241 @@
+package norec
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/val"
+)
+
+func TestStripedRoundTrip(t *testing.T) {
+	s := NewStriped()
+	o := NewObject(41)
+	th := s.Thread(0)
+	if err := th.Run(func(tx *STx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v.(int)+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	if err := th.RunReadOnly(func(tx *STx) error {
+		v, err := tx.Read(o)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("read back %v, want 42", got)
+	}
+}
+
+func TestStripedReadOnlyRejectsWrites(t *testing.T) {
+	s := NewStriped()
+	o := NewObject(0)
+	if err := s.Thread(0).RunReadOnly(func(tx *STx) error {
+		return tx.Write(o, 1)
+	}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestStripedCrossStripeSnapshots hammers the establishment protocol: a
+// writer commits {n, −n} into two cells that land in different stripes;
+// readers touching the second stripe only after reading the first must
+// never observe a sum other than zero — exactly the staleness a per-stripe
+// snapshot without cross-stripe re-establishment would admit.
+func TestStripedCrossStripeSnapshots(t *testing.T) {
+	s := NewStriped()
+	a, b := NewObject(0), NewObject(0)
+	if stripeIndex(a) == stripeIndex(b) {
+		t.Fatal("test objects landed in one stripe; round-robin sid broken")
+	}
+	var violations atomic.Int64
+	var readers, writer sync.WaitGroup
+	stop := make(chan struct{})
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		th := s.Thread(0)
+		for n := 1; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := th.Run(func(tx *STx) error {
+				if err := tx.Write(a, n); err != nil {
+					return err
+				}
+				return tx.Write(b, -n)
+			}); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(id int) {
+			defer readers.Done()
+			th := s.Thread(1 + id)
+			for i := 0; i < 2000; i++ {
+				var av, bv int
+				run := th.Run
+				if i%2 == 0 {
+					run = th.RunReadOnly
+				}
+				if err := run(func(tx *STx) error {
+					v, err := tx.Read(a)
+					if err != nil {
+						return err
+					}
+					av = v.(int)
+					w, err := tx.Read(b)
+					if err != nil {
+						return err
+					}
+					bv = w.(int)
+					return nil
+				}); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if av+bv != 0 {
+					violations.Add(1)
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d torn cross-stripe snapshots", v)
+	}
+}
+
+// TestStripedCommitValidationAborts drives one STx by hand: a value its
+// read logged changes under it before commit, so the commit must abort —
+// and the write stripe's sequence lock must be restored to its exact
+// pre-lock value (no writes were published).
+func TestStripedCommitValidationAborts(t *testing.T) {
+	s := NewStriped()
+	o := NewObject(10)
+	sink := NewObject(0)
+	tx := &STx{}
+	tx.reset(s, false)
+	if _, err := tx.Read(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(sink, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign commit changes o after the read.
+	if err := s.Thread(1).Run(func(tx *STx) error { return tx.Write(o, 11) }); err != nil {
+		t.Fatal(err)
+	}
+	before := s.stripes[stripeIndex(sink)].seq.Load()
+	if err := tx.commit(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit = %v, want ErrAborted", err)
+	}
+	after := s.stripes[stripeIndex(sink)].seq.Load()
+	if before != after {
+		t.Errorf("aborted commit moved the write stripe: %d → %d", before, after)
+	}
+	var got any
+	if err := s.Thread(2).RunReadOnly(func(tx *STx) error {
+		v, err := tx.Read(sink)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("aborted write became visible: sink = %v", got)
+	}
+}
+
+// TestStripedSilentRestoreCommits: value-based validation must tolerate a
+// value that changed and changed back between read and commit.
+func TestStripedSilentRestoreCommits(t *testing.T) {
+	s := NewStriped()
+	o := NewObject(5)
+	sink := NewObject(0)
+	tx := &STx{}
+	tx.reset(s, false)
+	if _, err := tx.Read(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(sink, 1); err != nil {
+		t.Fatal(err)
+	}
+	th := s.Thread(1)
+	if err := th.Run(func(tx *STx) error { return tx.Write(o, 6) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Run(func(tx *STx) error { return tx.Write(o, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.commit(); err != nil {
+		t.Fatalf("silently restored value must commit, got %v", err)
+	}
+}
+
+// TestStripedDisjointCommitsDontShareStripes is the point of the variant:
+// commits into different stripes bump different sequence locks.
+func TestStripedDisjointCommitsDontShareStripes(t *testing.T) {
+	s := NewStriped()
+	a, b := NewObject(0), NewObject(0)
+	sa, sb := stripeIndex(a), stripeIndex(b)
+	if sa == sb {
+		t.Fatal("round-robin sids put adjacent objects in one stripe")
+	}
+	th := s.Thread(0)
+	if err := th.Run(func(tx *STx) error { return tx.Write(a, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.stripes[sb].seq.Load(); got != 0 {
+		t.Errorf("commit into stripe %d moved stripe %d to %d", sa, sb, got)
+	}
+	if got := s.stripes[sa].seq.Load(); got != 2 {
+		t.Errorf("stripe %d sequence = %d, want 2", sa, got)
+	}
+}
+
+func TestStripedIntLaneWriteBackAllocs(t *testing.T) {
+	s := NewStriped()
+	o := NewObject(1 << 40)
+	th := s.Thread(0)
+	step := func() {
+		if err := th.Run(func(tx *STx) error {
+			v, _, err := readLane(tx, o)
+			if err != nil {
+				return err
+			}
+			return tx.WriteValue(o, val.OfInt(int(v)+1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step()
+	if got := testing.AllocsPerRun(200, step); got > 0 {
+		t.Errorf("striped int update: %.1f allocs/run, want 0", got)
+	}
+}
+
+// readLane is a test helper: ReadValue through the numeric lane.
+func readLane(tx *STx, o *Object) (int64, bool, error) {
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}

@@ -11,11 +11,19 @@
 // counter must be read on every object access, so even fully disjoint
 // updates drag a shared cache line through every reader — the
 // reproduction's baselines experiment measures that effect against LSA-RT.
+//
+// Values are typed (val.Value): the versioned lock word sandwiches the
+// two-word cell snapshot, so numeric payloads stay unboxed end to end and
+// the write-back of an int-valued commit allocates nothing. The Thread
+// recycles one Tx (logs and promoted index) across attempts, with the same
+// ≤8-entry linear-scan write-set fast path as the other engines.
 package rstmval
 
 import (
 	"errors"
 	"sync/atomic"
+
+	"repro/internal/val"
 )
 
 // ErrAborted signals that the transaction attempt failed and was retried.
@@ -38,30 +46,51 @@ func New() *STM { return &STM{} }
 func (s *STM) CommitCounter() int64 { return s.cc.Load() }
 
 // Object is a single-version cell: a versioned lock word (version<<1|locked)
-// and the value.
+// and the typed value slot.
 type Object struct {
 	meta atomic.Int64
-	val  atomic.Pointer[any]
+	cell val.AtomicCell
 }
 
 // NewObject creates an object at version 0 holding initial.
 func NewObject(initial any) *Object {
 	o := &Object{}
-	v := initial
-	o.val.Store(&v)
+	o.cell.Store(val.OfAny(initial))
 	return o
 }
 
 func locked(meta int64) bool { return meta&1 == 1 }
 
-// Tx is one transaction attempt.
+// smallWriteSet is the write-set size up to which wlookup scans the writes
+// slice instead of maintaining a map — the shared ≤8-entry linear-scan fast
+// path (see core.smallAccessSet).
+const smallWriteSet = 8
+
+// Tx is one transaction attempt, recycled across attempts by its Thread:
+// nothing an attempt builds escapes it (write-back publishes fresh cell
+// snapshots, never log pointers), so the steady-state retry allocates
+// nothing.
 type Tx struct {
 	stm      *STM
 	readOnly bool
+	boxed    bool
 	lastCC   int64
 	reads    []readEntry
 	writes   []writeEntry
-	windex   map[*Object]int
+	windex   map[*Object]int // nil while the write set is small
+	// spareIndex keeps the promoted map alive between attempts so a large
+	// write set pays the map allocation once per thread, not per attempt.
+	spareIndex map[*Object]int
+}
+
+func (tx *Tx) reset(stm *STM, readOnly bool) {
+	tx.stm = stm
+	tx.readOnly = readOnly
+	tx.boxed = false
+	tx.lastCC = stm.cc.Load()
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windex = nil
 }
 
 type readEntry struct {
@@ -71,33 +100,80 @@ type readEntry struct {
 
 type writeEntry struct {
 	obj *Object
-	val any
+	v   val.Value
 }
 
-// Read opens the object, revalidating the read set first if the commit
-// counter indicates system progress since the last check.
+// wlookup finds the write-set entry for o: a linear scan while the set is
+// small, the map built by wadd beyond that. A miss returns index −1.
+func (tx *Tx) wlookup(o *Object) (int, bool) {
+	if tx.windex != nil {
+		if idx, ok := tx.windex[o]; ok {
+			return idx, true
+		}
+		return -1, false
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].obj == o {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// wadd appends a write-set entry; crossing smallWriteSet promotes the index
+// to the attempt's reusable map.
+func (tx *Tx) wadd(o *Object, v val.Value) {
+	tx.writes = append(tx.writes, writeEntry{obj: o, v: v})
+	if tx.windex != nil {
+		tx.windex[o] = len(tx.writes) - 1
+	} else if len(tx.writes) > smallWriteSet {
+		if tx.spareIndex == nil {
+			tx.spareIndex = make(map[*Object]int, 4*smallWriteSet)
+		} else {
+			clear(tx.spareIndex)
+		}
+		tx.windex = tx.spareIndex
+		for i := range tx.writes {
+			tx.windex[tx.writes[i].obj] = i
+		}
+	}
+}
+
+// Read opens the object as `any` — the generic escape-hatch view of
+// ReadValue.
 func (tx *Tx) Read(o *Object) (any, error) {
-	if idx, ok := tx.windex[o]; ok {
-		return tx.writes[idx].val, nil
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return nil, err
+	}
+	return v.Load(), nil
+}
+
+// ReadValue opens the object, revalidating the read set first if the commit
+// counter indicates system progress since the last check. The version-word
+// sandwich around the two-word cell snapshot discards any torn pair.
+func (tx *Tx) ReadValue(o *Object) (val.Value, error) {
+	if idx, ok := tx.wlookup(o); ok {
+		return tx.writes[idx].v, nil
 	}
 	// The heuristic: read the global counter on *every* access; skip
 	// validation while it is unchanged.
 	if cc := tx.stm.cc.Load(); cc != tx.lastCC {
 		if !tx.validate() {
-			return nil, ErrAborted
+			return val.Value{}, ErrAborted
 		}
 		tx.lastCC = cc
 	}
 	m1 := o.meta.Load()
 	if locked(m1) {
-		return nil, ErrAborted
+		return val.Value{}, ErrAborted
 	}
-	vp := o.val.Load()
+	num, box := o.cell.Snapshot()
 	if o.meta.Load() != m1 {
-		return nil, ErrAborted
+		return val.Value{}, ErrAborted
 	}
 	tx.reads = append(tx.reads, readEntry{obj: o, meta: m1})
-	return *vp, nil
+	return val.Decode(num, box), nil
 }
 
 // validate checks that every read object is unchanged (and unlocked).
@@ -105,7 +181,7 @@ func (tx *Tx) validate() bool {
 	for _, r := range tx.reads {
 		m := r.obj.meta.Load()
 		if m != r.meta {
-			if _, own := tx.windex[r.obj]; own && m == r.meta|1 {
+			if _, own := tx.wlookup(r.obj); own && m == r.meta|1 {
 				continue // locked by ourselves during commit
 			}
 			return false
@@ -114,20 +190,25 @@ func (tx *Tx) validate() bool {
 	return true
 }
 
-// Write buffers the new value; it becomes visible at commit.
-func (tx *Tx) Write(o *Object, val any) error {
+// Write buffers the new value; it becomes visible at commit — the generic
+// escape-hatch view of WriteValue.
+func (tx *Tx) Write(o *Object, v any) error {
+	return tx.WriteValue(o, val.OfAny(v))
+}
+
+// WriteValue buffers the new typed value; numeric-lane values never box.
+func (tx *Tx) WriteValue(o *Object, v val.Value) error {
 	if tx.readOnly {
 		return ErrReadOnly
 	}
-	if idx, ok := tx.windex[o]; ok {
-		tx.writes[idx].val = val
+	if v.Kind() == val.KindBoxed {
+		tx.boxed = true
+	}
+	if idx, ok := tx.wlookup(o); ok {
+		tx.writes[idx].v = v
 		return nil
 	}
-	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
-	if tx.windex == nil {
-		tx.windex = make(map[*Object]int, 8)
-	}
-	tx.windex[o] = len(tx.writes) - 1
+	tx.wadd(o, v)
 	return nil
 }
 
@@ -161,8 +242,7 @@ func (tx *Tx) commit() error {
 	}
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		v := w.val
-		w.obj.val.Store(&v)
+		w.obj.cell.Store(w.v)
 		w.obj.meta.Store((w.obj.meta.Load() >> 1 << 1) + 2) // version+1, unlocked
 	}
 	return nil
@@ -177,12 +257,19 @@ func (tx *Tx) unlock(upTo int) {
 }
 
 // Thread is a worker context (API-compatible shape with the core engine).
+// It owns the one Tx it recycles — single goroutine only.
 type Thread struct {
-	stm *STM
+	stm          *STM
+	tx           Tx
+	boxedCommits uint64
 }
 
 // Thread creates a worker context.
 func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
+
+// BoxedCommits returns how many of this thread's commits wrote at least one
+// escape-hatch (boxed) payload.
+func (t *Thread) BoxedCommits() uint64 { return t.boxedCommits }
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
@@ -191,13 +278,17 @@ func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
 func (t *Thread) RunReadOnly(fn func(*Tx) error) error { return t.run(true, fn) }
 
 func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
+	tx := &t.tx
 	for {
-		tx := &Tx{stm: t.stm, readOnly: readOnly, lastCC: t.stm.cc.Load()}
+		tx.reset(t.stm, readOnly)
 		err := fn(tx)
 		if err == nil {
 			err = tx.commit()
 		}
 		if err == nil {
+			if tx.boxed {
+				t.boxedCommits++
+			}
 			return nil
 		}
 		if !errors.Is(err, ErrAborted) {

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/timebase"
+	"repro/internal/val"
 )
 
 // ErrAborted signals that the transaction attempt failed and was retried.
@@ -91,17 +92,18 @@ var genesisMeta = &verMeta{ver: timebase.NegInf}
 var lockedMeta = &verMeta{locked: true}
 
 // Object is a single-version transactional cell: a versioned lock word and
-// the current value.
+// the current typed value slot (numeric payloads live unboxed in the cell's
+// atomic word; see val.AtomicCell for the consistency contract — here the
+// verMeta pointer sandwich is the reader's discard signal).
 type Object struct {
 	meta atomic.Pointer[verMeta]
-	val  atomic.Pointer[any]
+	cell val.AtomicCell
 }
 
 // NewObject creates an object at the genesis version holding initial.
 func NewObject(initial any) *Object {
 	o := &Object{}
-	v := initial
-	o.val.Store(&v)
+	o.cell.Store(val.OfAny(initial))
 	o.meta.Store(genesisMeta)
 	return o
 }
@@ -123,6 +125,7 @@ type Tx struct {
 	stm      *STM
 	rv       timebase.Timestamp // read version: clock reading at start
 	readOnly bool
+	boxed    bool // some write took the escape hatch
 	reads    []readEntry
 	writes   []writeEntry
 	windex   map[*Object]int // nil while the write set is small
@@ -137,6 +140,7 @@ type Tx struct {
 func (tx *Tx) reset(rv timebase.Timestamp, readOnly bool) {
 	tx.rv = rv
 	tx.readOnly = readOnly
+	tx.boxed = false
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.windex = nil
@@ -148,7 +152,7 @@ type readEntry struct {
 
 type writeEntry struct {
 	obj  *Object
-	val  any
+	v    val.Value
 	prev *verMeta // pre-lock version word, restored on a failed commit
 }
 
@@ -173,8 +177,8 @@ func (tx *Tx) wlookup(o *Object) (int, bool) {
 // wadd appends a write-set entry; crossing smallWriteSet promotes the index
 // to the attempt's reusable map (cleared, not reallocated, after the first
 // promotion on this thread).
-func (tx *Tx) wadd(o *Object, val any) {
-	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+func (tx *Tx) wadd(o *Object, v val.Value) {
+	tx.writes = append(tx.writes, writeEntry{obj: o, v: v})
 	if tx.windex != nil {
 		tx.windex[o] = len(tx.writes) - 1
 	} else if len(tx.writes) > smallWriteSet {
@@ -190,37 +194,57 @@ func (tx *Tx) wadd(o *Object, val any) {
 	}
 }
 
-// Read returns the object's value if its version precedes the
-// transaction's start time; otherwise the attempt aborts (TL2 has no
-// extensions and no old versions).
+// Read returns the object's value as `any` — the generic escape-hatch view
+// of ReadValue (numeric-lane payloads are boxed here).
 func (tx *Tx) Read(o *Object) (any, error) {
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return nil, err
+	}
+	return v.Load(), nil
+}
+
+// ReadValue returns the object's value if its version precedes the
+// transaction's start time; otherwise the attempt aborts (TL2 has no
+// extensions and no old versions). The verMeta pointer sandwich around the
+// two-word cell snapshot discards any torn pair.
+func (tx *Tx) ReadValue(o *Object) (val.Value, error) {
 	if idx, ok := tx.wlookup(o); ok {
-		return tx.writes[idx].val, nil
+		return tx.writes[idx].v, nil
 	}
 	m1 := o.meta.Load()
 	if m1.locked {
-		return nil, ErrAborted
+		return val.Value{}, ErrAborted
 	}
-	vp := o.val.Load()
+	num, box := o.cell.Snapshot()
 	if o.meta.Load() != m1 || !tx.rv.LaterEq(m1.ver) {
-		return nil, ErrAborted
+		return val.Value{}, ErrAborted
 	}
 	if !tx.readOnly {
 		tx.reads = append(tx.reads, readEntry{obj: o})
 	}
-	return *vp, nil
+	return val.Decode(num, box), nil
 }
 
-// Write buffers the new value; it becomes visible at commit.
-func (tx *Tx) Write(o *Object, val any) error {
+// Write buffers the new value; it becomes visible at commit — the generic
+// escape-hatch view of WriteValue.
+func (tx *Tx) Write(o *Object, v any) error {
+	return tx.WriteValue(o, val.OfAny(v))
+}
+
+// WriteValue buffers the new typed value; numeric-lane values never box.
+func (tx *Tx) WriteValue(o *Object, v val.Value) error {
 	if tx.readOnly {
 		return ErrReadOnly
 	}
+	if v.Kind() == val.KindBoxed {
+		tx.boxed = true
+	}
 	if idx, ok := tx.wlookup(o); ok {
-		tx.writes[idx].val = val
+		tx.writes[idx].v = v
 		return nil
 	}
-	tx.wadd(o, val)
+	tx.wadd(o, v)
 	return nil
 }
 
@@ -280,12 +304,12 @@ func (tx *Tx) commit(clock timebase.Clock) error {
 	// Phase 4: install values and release locks with the new version. One
 	// version word is shared by the whole write set: pointer identity is
 	// only ever compared per object, so sharing is safe and saves
-	// allocations.
+	// allocations — with the numeric lane it is the only allocation of an
+	// int-valued commit.
 	next := &verMeta{ver: wv}
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		v := w.val
-		w.obj.val.Store(&v)
+		w.obj.cell.Store(w.v)
 		w.obj.meta.Store(next)
 	}
 	return nil
@@ -303,10 +327,15 @@ func (tx *Tx) unlock(upTo int) {
 // Thread so workloads translate directly). It owns the one Tx it recycles
 // across attempts — a Thread must be used by a single goroutine.
 type Thread struct {
-	stm   *STM
-	clock timebase.Clock
-	tx    Tx
+	stm          *STM
+	clock        timebase.Clock
+	tx           Tx
+	boxedCommits uint64
 }
+
+// BoxedCommits returns how many of this thread's commits wrote at least one
+// escape-hatch (boxed) payload.
+func (t *Thread) BoxedCommits() uint64 { return t.boxedCommits }
 
 // Thread creates a worker context. id selects the worker's clock for
 // per-node time bases.
@@ -332,6 +361,9 @@ func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 			err = tx.commit(t.clock)
 		}
 		if err == nil {
+			if tx.boxed {
+				t.boxedCommits++
+			}
 			return nil
 		}
 		if !errors.Is(err, ErrAborted) {

@@ -1,0 +1,205 @@
+// Package val is the typed payload representation shared by every
+// value-carrying STM backend in this repository: a small Value struct with
+// an unboxed int64 lane plus an `any` escape hatch, and an AtomicCell that
+// stores one race-free two-word snapshot of a Value.
+//
+// Motivation: the engines buffer written payloads in logs and publish them
+// in version nodes or cells. With a raw `any` payload every non-small-int
+// write costs one boxing allocation per attempt — on the hottest path the
+// bench matrix measures, in every backend. Value keeps int-typed payloads
+// (the dominant case for the counter workloads) in a plain machine word:
+// writes through the int lane allocate nothing, and only genuinely
+// non-numeric payloads take the escape hatch.
+//
+// Canonicalization: OfAny diverts dynamic int and int64 values into the
+// numeric lane, so a Value round-trips the exact dynamic type through Load
+// regardless of which constructor produced it, and numeric equality checks
+// (value-based validation in norec) never touch reflection.
+package val
+
+import (
+	"reflect"
+	"sync/atomic"
+)
+
+// Kind discriminates the payload representation of a Value.
+type Kind uint8
+
+const (
+	// KindBoxed marks an escape-hatch payload carried in the any field
+	// (including a nil payload).
+	KindBoxed Kind = iota
+	// KindInt marks a Go int carried in the numeric lane.
+	KindInt
+	// KindInt64 marks an int64 carried in the numeric lane.
+	KindInt64
+)
+
+// Value is one immutable transactional payload: a kind tag, the numeric
+// lane, and the boxed escape hatch. The zero Value is a boxed nil.
+type Value struct {
+	kind Kind
+	num  int64
+	box  any
+}
+
+// OfInt builds a numeric-lane Value holding a Go int. No allocation.
+func OfInt(n int) Value { return Value{kind: KindInt, num: int64(n)} }
+
+// OfInt64 builds a numeric-lane Value holding an int64. No allocation.
+func OfInt64(n int64) Value { return Value{kind: KindInt64, num: n} }
+
+// OfAny builds a Value from an already-boxed payload, canonicalizing
+// dynamic int/int64 values into the numeric lane (the boxing cost was paid
+// by the caller; canonicalizing keeps the stored representation uniform so
+// lane reads and value comparisons stay cheap).
+func OfAny(v any) Value {
+	switch n := v.(type) {
+	case int:
+		return Value{kind: KindInt, num: int64(n)}
+	case int64:
+		return Value{kind: KindInt64, num: n}
+	}
+	return Value{kind: KindBoxed, box: v}
+}
+
+// Kind returns the payload representation.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNum reports whether the payload lives in the numeric lane.
+func (v Value) IsNum() bool { return v.kind != KindBoxed }
+
+// AsInt64 returns the numeric lane widened to int64; ok is false for boxed
+// payloads.
+func (v Value) AsInt64() (n int64, ok bool) { return v.num, v.kind != KindBoxed }
+
+// Load reconstructs the dynamic value. Numeric-lane payloads are boxed here
+// (this is the escape hatch for the generic any-typed Read path); callers
+// that can consume the lane directly use AsInt64 instead and never box.
+func (v Value) Load() any {
+	switch v.kind {
+	case KindInt:
+		return int(v.num)
+	case KindInt64:
+		return v.num
+	}
+	return v.box
+}
+
+// Equal is the value-based comparison used by validating engines: numeric
+// payloads compare by kind and word, boxed payloads through BoxedEqual.
+// Distinct kinds never compare equal (int(5) and int64(5) are different
+// dynamic values, exactly as under the pre-typed `any` representation).
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	if v.kind != KindBoxed {
+		return v.num == w.num
+	}
+	return BoxedEqual(v.box, w.box)
+}
+
+// BoxedEqual compares two escape-hatch payloads by value. Values of
+// uncomparable types (slices, maps) cannot be checked cheaply and count as
+// changed — safe, merely conservative for value-based validation.
+// Type.Comparable is a static property, so a comparable-typed value can
+// still hold an uncomparable dynamic value in an interface field; the
+// recover turns that panic into "changed" as well.
+func BoxedEqual(a, b any) (eq bool) {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
+// The lane tag sentinels: an AtomicCell's box pointer either points at a
+// real boxed payload or is one of these two static markers, in which case
+// the payload is the numeric word. Static, so storing a numeric value never
+// allocates.
+var (
+	intTagVal   any = "val: int lane"
+	int64TagVal any = "val: int64 lane"
+	intTag          = &intTagVal
+	int64Tag        = &int64TagVal
+)
+
+// TagKind reports whether box is a numeric-lane tag, and which kind.
+func TagKind(box *any) (Kind, bool) {
+	switch box {
+	case intTag:
+		return KindInt, true
+	case int64Tag:
+		return KindInt64, true
+	}
+	return KindBoxed, false
+}
+
+// Decode reconstructs the Value behind a (num, box) snapshot taken from an
+// AtomicCell.
+func Decode(num int64, box *any) Value {
+	switch box {
+	case intTag:
+		return Value{kind: KindInt, num: num}
+	case int64Tag:
+		return Value{kind: KindInt64, num: num}
+	}
+	if box == nil {
+		return Value{}
+	}
+	return Value{kind: KindBoxed, box: *box}
+}
+
+// AtomicCell is the shared two-word cell of the value-logging engines: an
+// atomic numeric word plus an atomic boxed-payload pointer. Storing a
+// numeric Value touches only the two atomics (zero allocations); storing a
+// boxed Value publishes one fresh heap snapshot, as the untyped
+// representation always did.
+//
+// The two words are not read or written as one atomic unit. Writers must be
+// serialized per cell by the engine's commit protocol (a sequence lock, a
+// version-word lock); readers must sandwich Snapshot between loads of the
+// engine's consistency word (sequence lock value, version-word pointer) and
+// discard the snapshot when it moved — exactly the protocols norec, tl2 and
+// rstmval already run for their single value pointer. A torn (num, box)
+// pair can therefore be observed, but never survives validation; every
+// access is atomic, so the race detector stays quiet.
+type AtomicCell struct {
+	num atomic.Int64
+	box atomic.Pointer[any]
+}
+
+// Store publishes v. Only the cell's current exclusive writer may call it.
+func (c *AtomicCell) Store(v Value) {
+	switch v.kind {
+	case KindInt:
+		c.num.Store(v.num)
+		if c.box.Load() != intTag {
+			c.box.Store(intTag)
+		}
+	case KindInt64:
+		c.num.Store(v.num)
+		if c.box.Load() != int64Tag {
+			c.box.Store(int64Tag)
+		}
+	default:
+		p := new(any)
+		*p = v.box
+		c.box.Store(p)
+	}
+}
+
+// Snapshot returns the raw (num, box) pair for logging and later
+// validation. Decode turns it back into a Value.
+func (c *AtomicCell) Snapshot() (num int64, box *any) {
+	return c.num.Load(), c.box.Load()
+}

@@ -1,0 +1,125 @@
+package val
+
+import (
+	"testing"
+)
+
+func TestRoundTrips(t *testing.T) {
+	type pair struct{ a, b int }
+	cases := []any{0, 1, -1, 300, -300, int(1) << 40, int64(7), int64(-1 << 50),
+		"hello", pair{3, 4}, nil, 3.5, true}
+	for _, c := range cases {
+		v := OfAny(c)
+		if got := v.Load(); got != c {
+			t.Errorf("OfAny(%v (%T)).Load() = %v (%T)", c, c, got, got)
+		}
+	}
+	if v := OfInt(12345); v.Load() != int(12345) {
+		t.Errorf("OfInt round trip: %v", v.Load())
+	}
+	if v := OfInt64(12345); v.Load() != int64(12345) {
+		t.Errorf("OfInt64 round trip: %v", v.Load())
+	}
+}
+
+func TestCanonicalization(t *testing.T) {
+	if OfAny(300).Kind() != KindInt {
+		t.Error("OfAny(int) must take the numeric lane")
+	}
+	if OfAny(int64(300)).Kind() != KindInt64 {
+		t.Error("OfAny(int64) must take the numeric lane")
+	}
+	if OfAny("x").Kind() != KindBoxed {
+		t.Error("OfAny(string) must box")
+	}
+	if n, ok := OfAny(300).AsInt64(); !ok || n != 300 {
+		t.Errorf("AsInt64 = %d, %v", n, ok)
+	}
+	if _, ok := OfAny("x").AsInt64(); ok {
+		t.Error("AsInt64 must refuse boxed payloads")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{OfInt(5), OfInt(5), true},
+		{OfInt(5), OfInt(6), false},
+		{OfInt(5), OfInt64(5), false}, // distinct dynamic types
+		{OfAny(5), OfInt(5), true},
+		{OfAny("a"), OfAny("a"), true},
+		{OfAny("a"), OfAny("b"), false},
+		{OfAny(nil), OfAny(nil), true},
+		{OfAny(nil), OfAny("a"), false},
+		{OfAny([]int{1}), OfAny([]int{1}), false}, // uncomparable: conservative
+		{OfAny(5), OfAny("5"), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBoxedEqualUncomparableDynamic(t *testing.T) {
+	// An interface-typed comparable struct holding an uncomparable dynamic
+	// value must count as changed, not panic.
+	type box struct{ v any }
+	a, b := box{v: []int{1}}, box{v: []int{1}}
+	if BoxedEqual(a, b) {
+		t.Error("uncomparable dynamic values must compare unequal")
+	}
+}
+
+func TestAtomicCellLanes(t *testing.T) {
+	var c AtomicCell
+	c.Store(OfInt(41))
+	num, box := c.Snapshot()
+	if k, tag := TagKind(box); !tag || k != KindInt || num != 41 {
+		t.Fatalf("int store: num=%d tag=%v kind=%v", num, tag, k)
+	}
+	if got := Decode(num, box).Load(); got != int(41) {
+		t.Fatalf("decode = %v", got)
+	}
+
+	c.Store(OfInt64(99))
+	num, box = c.Snapshot()
+	if got := Decode(num, box).Load(); got != int64(99) {
+		t.Fatalf("int64 decode = %v", got)
+	}
+
+	c.Store(OfAny("payload"))
+	num, box = c.Snapshot()
+	if _, tag := TagKind(box); tag {
+		t.Fatal("boxed store left a lane tag")
+	}
+	if got := Decode(num, box).Load(); got != "payload" {
+		t.Fatalf("boxed decode = %v", got)
+	}
+
+	// Back to the lane: the stale boxed pointer must be replaced.
+	c.Store(OfInt(7))
+	num, box = c.Snapshot()
+	if got := Decode(num, box).Load(); got != int(7) {
+		t.Fatalf("lane after box = %v", got)
+	}
+}
+
+func TestAtomicCellIntStoreAllocs(t *testing.T) {
+	var c AtomicCell
+	c.Store(OfInt(1))
+	n := testing.AllocsPerRun(100, func() {
+		c.Store(OfInt(1 << 40)) // far outside the runtime's small-int cache
+	})
+	if n != 0 {
+		t.Errorf("numeric-lane Store allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestDecodeNilBox(t *testing.T) {
+	if got := Decode(0, nil).Load(); got != nil {
+		t.Errorf("Decode(0, nil).Load() = %v, want nil", got)
+	}
+}

@@ -91,55 +91,65 @@ func (h *HashSet) Contains(th engine.Thread, key int) (bool, error) {
 	return found, err
 }
 
+// addIn is Add's transactional body.
+func (h *HashSet) addIn(tx engine.Txn, key int) (bool, error) {
+	b := h.bucketFor(key)
+	keys, err := engine.Get[[]int](tx, b)
+	if err != nil {
+		return false, err
+	}
+	if containsKey(keys, key) {
+		return false, nil
+	}
+	// Insert keeping the bucket sorted; the slice is immutable once
+	// stored, so build a fresh one.
+	out := make([]int, 0, len(keys)+1)
+	i := 0
+	for ; i < len(keys) && keys[i] < key; i++ {
+		out = append(out, keys[i])
+	}
+	out = append(out, key)
+	out = append(out, keys[i:]...)
+	return true, tx.Write(b, out)
+}
+
 // Add inserts key, reporting whether the set changed.
 func (h *HashSet) Add(th engine.Thread, key int) (bool, error) {
 	var added bool
 	err := th.Run(func(tx engine.Txn) error {
-		b := h.bucketFor(key)
-		keys, err := engine.Get[[]int](tx, b)
-		if err != nil {
-			return err
-		}
-		if containsKey(keys, key) {
-			added = false
-			return nil
-		}
-		// Insert keeping the bucket sorted; the slice is immutable once
-		// stored, so build a fresh one.
-		out := make([]int, 0, len(keys)+1)
-		i := 0
-		for ; i < len(keys) && keys[i] < key; i++ {
-			out = append(out, keys[i])
-		}
-		out = append(out, key)
-		out = append(out, keys[i:]...)
-		added = true
-		return tx.Write(b, out)
+		var err error
+		added, err = h.addIn(tx, key)
+		return err
 	})
 	return added, err
+}
+
+// removeIn is Remove's transactional body.
+func (h *HashSet) removeIn(tx engine.Txn, key int) (bool, error) {
+	b := h.bucketFor(key)
+	keys, err := engine.Get[[]int](tx, b)
+	if err != nil {
+		return false, err
+	}
+	if !containsKey(keys, key) {
+		return false, nil
+	}
+	out := make([]int, 0, len(keys)-1)
+	for _, k := range keys {
+		if k != key {
+			out = append(out, k)
+		}
+	}
+	return true, tx.Write(b, out)
 }
 
 // Remove deletes key, reporting whether the set changed.
 func (h *HashSet) Remove(th engine.Thread, key int) (bool, error) {
 	var removed bool
 	err := th.Run(func(tx engine.Txn) error {
-		b := h.bucketFor(key)
-		keys, err := engine.Get[[]int](tx, b)
-		if err != nil {
-			return err
-		}
-		if !containsKey(keys, key) {
-			removed = false
-			return nil
-		}
-		out := make([]int, 0, len(keys)-1)
-		for _, k := range keys {
-			if k != key {
-				out = append(out, k)
-			}
-		}
-		removed = true
-		return tx.Write(b, out)
+		var err error
+		removed, err = h.removeIn(tx, key)
+		return err
 	})
 	return removed, err
 }
@@ -161,25 +171,36 @@ func (h *HashSet) Size(th engine.Thread) (int, error) {
 	return n, err
 }
 
-// Step implements harness.Workload.
+// Step implements harness.Workload. The transaction closures are built once
+// per worker and fed the key through a captured local.
 func (h *HashSet) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(h.Seed + int64(id)*31337 + 5))
+	var key int
+	add := func(tx engine.Txn) error {
+		_, err := h.addIn(tx, key)
+		return err
+	}
+	remove := func(tx engine.Txn) error {
+		_, err := h.removeIn(tx, key)
+		return err
+	}
+	contains := func(tx engine.Txn) error {
+		_, err := engine.Get[[]int](tx, h.bucketFor(key))
+		return err
+	}
 	return func() error {
 		p := rng.Float64()
-		key := rng.Intn(h.keyRange())
+		key = rng.Intn(h.keyRange())
 		switch {
 		case p < h.sizeRatio():
 			_, err := h.Size(th)
 			return err
 		case p < h.sizeRatio()+h.updateRatio()/2:
-			_, err := h.Add(th, key)
-			return err
+			return th.Run(add)
 		case p < h.sizeRatio()+h.updateRatio():
-			_, err := h.Remove(th, key)
-			return err
+			return th.Run(remove)
 		default:
-			_, err := h.Contains(th, key)
-			return err
+			return th.RunReadOnly(contains)
 		}
 	}
 }

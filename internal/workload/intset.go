@@ -81,22 +81,33 @@ func (s *IntSet) Init(eng engine.Engine, workers int) error {
 	return nil
 }
 
-// Step implements harness.Workload.
+// Step implements harness.Workload. The transaction closures are built once
+// per worker and fed the key through a captured local.
 func (s *IntSet) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(s.Seed + int64(id)*104729 + 3))
+	var key int
+	add := func(tx engine.Txn) error {
+		_, err := s.addIn(tx, key)
+		return err
+	}
+	remove := func(tx engine.Txn) error {
+		_, err := s.removeIn(tx, key)
+		return err
+	}
+	contains := func(tx engine.Txn) error {
+		_, _, _, err := s.find(tx, key)
+		return err
+	}
 	return func() error {
-		key := rng.Intn(s.keyRange())
+		key = rng.Intn(s.keyRange())
 		p := rng.Float64()
 		switch {
 		case p < s.updateRatio()/2:
-			_, err := s.Add(th, key)
-			return err
+			return th.Run(add)
 		case p < s.updateRatio():
-			_, err := s.Remove(th, key)
-			return err
+			return th.Run(remove)
 		default:
-			_, err := s.Contains(th, key)
-			return err
+			return th.RunReadOnly(contains)
 		}
 	}
 }
@@ -136,50 +147,60 @@ func (s *IntSet) Contains(th engine.Thread, key int) (bool, error) {
 	return found, err
 }
 
+// addIn is Add's transactional body.
+func (s *IntSet) addIn(tx engine.Txn, key int) (bool, error) {
+	predCell, pred, cur, err := s.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if cur.key == key {
+		return false, nil
+	}
+	node := s.eng.NewCell(listNode{key: key, next: pred.next})
+	if err := tx.Write(predCell, listNode{key: pred.key, next: node}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // Add inserts key; it reports whether the set changed.
 func (s *IntSet) Add(th engine.Thread, key int) (bool, error) {
 	var added bool
 	err := th.Run(func(tx engine.Txn) error {
-		predCell, pred, cur, err := s.find(tx, key)
-		if err != nil {
-			return err
-		}
-		if cur.key == key {
-			added = false
-			return nil
-		}
-		node := s.eng.NewCell(listNode{key: key, next: pred.next})
-		if err := tx.Write(predCell, listNode{key: pred.key, next: node}); err != nil {
-			return err
-		}
-		added = true
-		return nil
+		var err error
+		added, err = s.addIn(tx, key)
+		return err
 	})
 	return added, err
+}
+
+// removeIn is Remove's transactional body.
+func (s *IntSet) removeIn(tx engine.Txn, key int) (bool, error) {
+	predCell, pred, cur, err := s.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if cur.key != key {
+		return false, nil
+	}
+	// Read the victim to get its successor, then splice it out.
+	victim, err := engine.Get[listNode](tx, pred.next)
+	if err != nil {
+		return false, err
+	}
+	if err := tx.Write(predCell, listNode{key: pred.key, next: victim.next}); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Remove deletes key; it reports whether the set changed.
 func (s *IntSet) Remove(th engine.Thread, key int) (bool, error) {
 	var removed bool
 	err := th.Run(func(tx engine.Txn) error {
-		predCell, pred, cur, err := s.find(tx, key)
-		if err != nil {
-			return err
-		}
-		if cur.key != key {
-			removed = false
-			return nil
-		}
-		// Read the victim to get its successor, then splice it out.
-		victim, err := engine.Get[listNode](tx, pred.next)
-		if err != nil {
-			return err
-		}
-		if err := tx.Write(predCell, listNode{key: pred.key, next: victim.next}); err != nil {
-			return err
-		}
-		removed = true
-		return nil
+		var err error
+		removed, err = s.removeIn(tx, key)
+		return err
 	})
 	return removed, err
 }

@@ -46,32 +46,60 @@ func (q *Queue) Init(eng engine.Engine, workers int) error {
 	return nil
 }
 
+// pushIn is Push's transactional body.
+func (q *Queue) pushIn(tx engine.Txn, v int) (bool, error) {
+	hv, err := engine.Get[int](tx, q.head)
+	if err != nil {
+		return false, err
+	}
+	tv, err := engine.Get[int](tx, q.tail)
+	if err != nil {
+		return false, err
+	}
+	if tv-hv >= q.capacity() {
+		return false, nil
+	}
+	if err := engine.Set(tx, q.slots[tv%q.capacity()], v); err != nil {
+		return false, err
+	}
+	if err := engine.Set(tx, q.tail, tv+1); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // Push appends v; it reports false if the queue was full.
 func (q *Queue) Push(th engine.Thread, v int) (bool, error) {
 	var ok bool
 	err := th.Run(func(tx engine.Txn) error {
-		hv, err := engine.Get[int](tx, q.head)
-		if err != nil {
-			return err
-		}
-		tv, err := engine.Get[int](tx, q.tail)
-		if err != nil {
-			return err
-		}
-		if tv-hv >= q.capacity() {
-			ok = false
-			return nil
-		}
-		if err := tx.Write(q.slots[tv%q.capacity()], v); err != nil {
-			return err
-		}
-		if err := tx.Write(q.tail, tv+1); err != nil {
-			return err
-		}
-		ok = true
-		return nil
+		var err error
+		ok, err = q.pushIn(tx, v)
+		return err
 	})
 	return ok, err
+}
+
+// popIn is Pop's transactional body.
+func (q *Queue) popIn(tx engine.Txn) (int, bool, error) {
+	hv, err := engine.Get[int](tx, q.head)
+	if err != nil {
+		return 0, false, err
+	}
+	tv, err := engine.Get[int](tx, q.tail)
+	if err != nil {
+		return 0, false, err
+	}
+	if hv == tv {
+		return 0, false, nil
+	}
+	sv, err := engine.Get[int](tx, q.slots[hv%q.capacity()])
+	if err != nil {
+		return 0, false, err
+	}
+	if err := engine.Set(tx, q.head, hv+1); err != nil {
+		return 0, false, err
+	}
+	return sv, true, nil
 }
 
 // Pop removes the oldest element; it reports false if the queue was empty.
@@ -79,27 +107,9 @@ func (q *Queue) Pop(th engine.Thread) (int, bool, error) {
 	var out int
 	var ok bool
 	err := th.Run(func(tx engine.Txn) error {
-		hv, err := engine.Get[int](tx, q.head)
-		if err != nil {
-			return err
-		}
-		tv, err := engine.Get[int](tx, q.tail)
-		if err != nil {
-			return err
-		}
-		if hv == tv {
-			ok = false
-			return nil
-		}
-		sv, err := engine.Get[int](tx, q.slots[hv%q.capacity()])
-		if err != nil {
-			return err
-		}
-		if err := tx.Write(q.head, hv+1); err != nil {
-			return err
-		}
-		out, ok = sv, true
-		return nil
+		var err error
+		out, ok, err = q.popIn(tx)
+		return err
 	})
 	return out, ok, err
 }
@@ -123,16 +133,24 @@ func (q *Queue) Len(th engine.Thread) (int, error) {
 }
 
 // Step implements harness.Workload: even workers produce, odd workers
-// consume.
+// consume. The transaction closures are built once per worker.
 func (q *Queue) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(q.Seed + int64(id)*131 + 7))
+	var v int
+	push := func(tx engine.Txn) error {
+		_, err := q.pushIn(tx, v)
+		return err
+	}
+	pop := func(tx engine.Txn) error {
+		_, _, err := q.popIn(tx)
+		return err
+	}
 	return func() error {
 		if id%2 == 0 {
-			_, err := q.Push(th, rng.Int())
-			return err
+			v = rng.Int()
+			return th.Run(push)
 		}
-		_, _, err := q.Pop(th)
-		return err
+		return th.Run(pop)
 	}
 }
 
@@ -188,24 +206,29 @@ func (r *ReadMostly) Init(eng engine.Engine, workers int) error {
 	return nil
 }
 
-// Step implements harness.Workload.
+// Step implements harness.Workload. The transaction closures are built once
+// per worker; the counter updates ride the unboxed int lane.
 func (r *ReadMostly) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(r.Seed + int64(id)*977 + 13))
+	var c engine.Cell
+	var start int
+	update := func(tx engine.Txn) error {
+		return engine.Update(tx, c, func(v int) int { return v + 1 })
+	}
+	scan := func(tx engine.Txn) error {
+		for i := 0; i < r.scanLen(); i++ {
+			if _, err := engine.Get[int](tx, r.cells[(start+i)%len(r.cells)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return func() error {
 		if rng.Float64() < r.writeRatio() {
-			c := r.cells[rng.Intn(len(r.cells))]
-			return th.Run(func(tx engine.Txn) error {
-				return engine.Update(tx, c, func(v int) int { return v + 1 })
-			})
+			c = r.cells[rng.Intn(len(r.cells))]
+			return th.Run(update)
 		}
-		start := rng.Intn(len(r.cells))
-		return th.RunReadOnly(func(tx engine.Txn) error {
-			for i := 0; i < r.scanLen(); i++ {
-				if _, err := tx.Read(r.cells[(start+i)%len(r.cells)]); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
+		start = rng.Intn(len(r.cells))
+		return th.RunReadOnly(scan)
 	}
 }

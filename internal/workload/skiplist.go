@@ -110,22 +110,33 @@ func (s *SkipList) Init(eng engine.Engine, workers int) error {
 	return nil
 }
 
-// Step implements harness.Workload.
+// Step implements harness.Workload. The transaction closures are built once
+// per worker and fed the key through a captured local.
 func (s *SkipList) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(s.Seed + int64(id)*15485863 + 11))
+	var key int
+	add := func(tx engine.Txn) error {
+		_, err := s.addIn(tx, key)
+		return err
+	}
+	remove := func(tx engine.Txn) error {
+		_, err := s.removeIn(tx, key)
+		return err
+	}
+	contains := func(tx engine.Txn) error {
+		_, _, err := s.find(tx, key)
+		return err
+	}
 	return func() error {
-		key := rng.Intn(s.keyRange())
+		key = rng.Intn(s.keyRange())
 		p := rng.Float64()
 		switch {
 		case p < s.updateRatio()/2:
-			_, err := s.Add(th, key)
-			return err
+			return th.Run(add)
 		case p < s.updateRatio():
-			_, err := s.Remove(th, key)
-			return err
+			return th.Run(remove)
 		default:
-			_, err := s.Contains(th, key)
-			return err
+			return th.RunReadOnly(contains)
 		}
 	}
 }
@@ -171,82 +182,92 @@ func (s *SkipList) Contains(th engine.Thread, key int) (bool, error) {
 	return found, err
 }
 
+// addIn is Add's transactional body.
+func (s *SkipList) addIn(tx engine.Txn, key int) (bool, error) {
+	preds, cur, err := s.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if cur.key == key {
+		return false, nil
+	}
+	height := skipHeight(key)
+	node := skipNode{key: key}
+	// Link the new tower level by level. Adjacent levels often share the
+	// predecessor cell; re-reading the predecessor through tx each time
+	// picks up this transaction's own earlier splice.
+	for l := 0; l < height; l++ {
+		pn, err := engine.Get[skipNode](tx, preds[l])
+		if err != nil {
+			return false, err
+		}
+		node.next[l] = pn.next[l]
+	}
+	cell := s.eng.NewCell(node)
+	for l := 0; l < height; l++ {
+		pn, err := engine.Get[skipNode](tx, preds[l])
+		if err != nil {
+			return false, err
+		}
+		pn.next[l] = cell
+		if err := tx.Write(preds[l], pn); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
 // Add inserts key; it reports whether the set changed.
 func (s *SkipList) Add(th engine.Thread, key int) (bool, error) {
 	var added bool
 	err := th.Run(func(tx engine.Txn) error {
-		preds, cur, err := s.find(tx, key)
-		if err != nil {
-			return err
-		}
-		if cur.key == key {
-			added = false
-			return nil
-		}
-		height := skipHeight(key)
-		node := skipNode{key: key}
-		// Link the new tower level by level. Adjacent levels often share the
-		// predecessor cell; re-reading the predecessor through tx each time
-		// picks up this transaction's own earlier splice.
-		for l := 0; l < height; l++ {
-			pn, err := engine.Get[skipNode](tx, preds[l])
-			if err != nil {
-				return err
-			}
-			node.next[l] = pn.next[l]
-		}
-		cell := s.eng.NewCell(node)
-		for l := 0; l < height; l++ {
-			pn, err := engine.Get[skipNode](tx, preds[l])
-			if err != nil {
-				return err
-			}
-			pn.next[l] = cell
-			if err := tx.Write(preds[l], pn); err != nil {
-				return err
-			}
-		}
-		added = true
-		return nil
+		var err error
+		added, err = s.addIn(tx, key)
+		return err
 	})
 	return added, err
+}
+
+// removeIn is Remove's transactional body.
+func (s *SkipList) removeIn(tx engine.Txn, key int) (bool, error) {
+	preds, cur, err := s.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if cur.key != key {
+		return false, nil
+	}
+	// The victim's cell is the bottom-level successor of preds[0]; its
+	// tower height is a function of the key, so exactly levels
+	// [0, height) point at it.
+	p0, err := engine.Get[skipNode](tx, preds[0])
+	if err != nil {
+		return false, err
+	}
+	victimCell := p0.next[0]
+	for l := 0; l < skipHeight(key); l++ {
+		pn, err := engine.Get[skipNode](tx, preds[l])
+		if err != nil {
+			return false, err
+		}
+		if pn.next[l] != victimCell {
+			return false, fmt.Errorf("workload: skiplist tower for key %d broken at level %d", key, l)
+		}
+		pn.next[l] = cur.next[l]
+		if err := tx.Write(preds[l], pn); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
 }
 
 // Remove deletes key; it reports whether the set changed.
 func (s *SkipList) Remove(th engine.Thread, key int) (bool, error) {
 	var removed bool
 	err := th.Run(func(tx engine.Txn) error {
-		preds, cur, err := s.find(tx, key)
-		if err != nil {
-			return err
-		}
-		if cur.key != key {
-			removed = false
-			return nil
-		}
-		// The victim's cell is the bottom-level successor of preds[0]; its
-		// tower height is a function of the key, so exactly levels
-		// [0, height) point at it.
-		p0, err := engine.Get[skipNode](tx, preds[0])
-		if err != nil {
-			return err
-		}
-		victimCell := p0.next[0]
-		for l := 0; l < skipHeight(key); l++ {
-			pn, err := engine.Get[skipNode](tx, preds[l])
-			if err != nil {
-				return err
-			}
-			if pn.next[l] != victimCell {
-				return fmt.Errorf("workload: skiplist tower for key %d broken at level %d", key, l)
-			}
-			pn.next[l] = cur.next[l]
-			if err := tx.Write(preds[l], pn); err != nil {
-				return err
-			}
-		}
-		removed = true
-		return nil
+		var err error
+		removed, err = s.removeIn(tx, key)
+		return err
 	})
 	return removed, err
 }

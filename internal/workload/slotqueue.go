@@ -78,37 +78,69 @@ func (q *SlotQueue) Init(eng engine.Engine, workers int) error {
 	return nil
 }
 
+// pushIn is Push's transactional body.
+func (q *SlotQueue) pushIn(tx engine.Txn, v, hint int) (bool, error) {
+	for i := 0; i < len(q.groups); i++ {
+		g := &q.groups[(hint+i)%len(q.groups)]
+		hv, err := engine.Get[int](tx, g.head)
+		if err != nil {
+			return false, err
+		}
+		tv, err := engine.Get[int](tx, g.tail)
+		if err != nil {
+			return false, err
+		}
+		if tv-hv >= len(g.slots) {
+			continue
+		}
+		if err := engine.Set(tx, g.slots[tv%len(g.slots)], v); err != nil {
+			return false, err
+		}
+		if err := engine.Set(tx, g.tail, tv+1); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
 // Push appends v to the first non-full group probed from hint; it reports
 // false if every group was full.
 func (q *SlotQueue) Push(th engine.Thread, v, hint int) (bool, error) {
 	var ok bool
 	err := th.Run(func(tx engine.Txn) error {
-		ok = false
-		for i := 0; i < len(q.groups); i++ {
-			g := &q.groups[(hint+i)%len(q.groups)]
-			hv, err := engine.Get[int](tx, g.head)
-			if err != nil {
-				return err
-			}
-			tv, err := engine.Get[int](tx, g.tail)
-			if err != nil {
-				return err
-			}
-			if tv-hv >= len(g.slots) {
-				continue
-			}
-			if err := tx.Write(g.slots[tv%len(g.slots)], v); err != nil {
-				return err
-			}
-			if err := tx.Write(g.tail, tv+1); err != nil {
-				return err
-			}
-			ok = true
-			return nil
-		}
-		return nil
+		var err error
+		ok, err = q.pushIn(tx, v, hint)
+		return err
 	})
 	return ok, err
+}
+
+// popIn is Pop's transactional body.
+func (q *SlotQueue) popIn(tx engine.Txn, hint int) (int, bool, error) {
+	for i := 0; i < len(q.groups); i++ {
+		g := &q.groups[(hint+i)%len(q.groups)]
+		hv, err := engine.Get[int](tx, g.head)
+		if err != nil {
+			return 0, false, err
+		}
+		tv, err := engine.Get[int](tx, g.tail)
+		if err != nil {
+			return 0, false, err
+		}
+		if hv == tv {
+			continue
+		}
+		sv, err := engine.Get[int](tx, g.slots[hv%len(g.slots)])
+		if err != nil {
+			return 0, false, err
+		}
+		if err := engine.Set(tx, g.head, hv+1); err != nil {
+			return 0, false, err
+		}
+		return sv, true, nil
+	}
+	return 0, false, nil
 }
 
 // Pop removes the oldest element of the first non-empty group probed from
@@ -117,31 +149,9 @@ func (q *SlotQueue) Pop(th engine.Thread, hint int) (int, bool, error) {
 	var out int
 	var ok bool
 	err := th.Run(func(tx engine.Txn) error {
-		out, ok = 0, false
-		for i := 0; i < len(q.groups); i++ {
-			g := &q.groups[(hint+i)%len(q.groups)]
-			hv, err := engine.Get[int](tx, g.head)
-			if err != nil {
-				return err
-			}
-			tv, err := engine.Get[int](tx, g.tail)
-			if err != nil {
-				return err
-			}
-			if hv == tv {
-				continue
-			}
-			sv, err := engine.Get[int](tx, g.slots[hv%len(g.slots)])
-			if err != nil {
-				return err
-			}
-			if err := tx.Write(g.head, hv+1); err != nil {
-				return err
-			}
-			out, ok = sv, true
-			return nil
-		}
-		return nil
+		var err error
+		out, ok, err = q.popIn(tx, hint)
+		return err
 	})
 	return out, ok, err
 }
@@ -175,13 +185,21 @@ func (q *SlotQueue) Len(th engine.Thread) (int, error) {
 func (q *SlotQueue) Step(eng engine.Engine, th engine.Thread, id int) func() error {
 	rng := rand.New(rand.NewSource(q.Seed + int64(id)*193 + 11))
 	hint := id % q.numGroups()
+	var v int
+	push := func(tx engine.Txn) error {
+		_, err := q.pushIn(tx, v, hint)
+		return err
+	}
+	pop := func(tx engine.Txn) error {
+		_, _, err := q.popIn(tx, hint)
+		return err
+	}
 	return func() error {
 		hint++
 		if id%2 == 0 {
-			_, err := q.Push(th, rng.Int(), hint)
-			return err
+			v = rng.Int()
+			return th.Run(push)
 		}
-		_, _, err := q.Pop(th, hint)
-		return err
+		return th.Run(pop)
 	}
 }
