@@ -165,6 +165,38 @@ func errsString(errs []error) string {
 	return sb.String()
 }
 
+// TestCheckSnapshotHostHeader pins the snapshot-header rules: the current
+// object form must carry a valid host record (required going forward), the
+// legacy bare-array form is tolerated without one, and an object-form
+// snapshot with a missing or implausible host fails the gate.
+func TestCheckSnapshotHostHeader(t *testing.T) {
+	rs := []harness.Result{record("tl2", "bank/64", 100)}
+	wrap := func(host *harness.HostInfo) []byte {
+		t.Helper()
+		data, err := json.Marshal(harness.Snapshot{Host: host, Results: rs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if errs := check(wrap(&harness.HostInfo{NumCPU: 8, GOMAXPROCS: 8}), []string{"tl2"}); len(errs) != 0 {
+		t.Fatalf("headered snapshot rejected: %v", errs)
+	}
+	if errs := check(wrap(nil), []string{"tl2"}); len(errs) != 1 ||
+		!strings.Contains(errs[0].Error(), "host") {
+		t.Fatalf("hostless object snapshot not rejected: %v", errs)
+	}
+	if errs := check(wrap(&harness.HostInfo{NumCPU: 0, GOMAXPROCS: 4}), []string{"tl2"}); len(errs) != 1 ||
+		!strings.Contains(errs[0].Error(), "CPUs") {
+		t.Fatalf("implausible host record not rejected: %v", errs)
+	}
+	// Legacy form: the array marshal() emits, already exercised by every
+	// other test — no host required.
+	if errs := check(marshal(t, rs), []string{"tl2"}); len(errs) != 0 {
+		t.Fatalf("legacy array snapshot rejected: %v", errs)
+	}
+}
+
 // TestCheckAcceptsSnapshotWithoutBoxedCounters pins the compatibility rule
 // for the boxed% telemetry: Stats.BoxedCommits is reported by the engines
 // since the typed value lane, but a snapshot written before it (no

@@ -165,7 +165,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			header("Cross-engine workload matrix (one harness, every registered backend)")
+			host := harness.CurrentHost()
+			header(fmt.Sprintf("Cross-engine workload matrix (one harness, every registered backend; host: %d CPUs, GOMAXPROCS %d)",
+				host.NumCPU, host.GOMAXPROCS))
 			emit(benchTable(results), *csv)
 			if *jsonPath != "" {
 				if err := writeJSON(*jsonPath, results); err != nil {
@@ -220,20 +222,33 @@ func runBench(engines []string, workers int, duration, warmup time.Duration) ([]
 }
 
 func benchTable(results []harness.Result) *stats.Table {
-	t := stats.NewTable("engine", "workload", "workers", "tx/s", "aborts/attempt", "allocs/commit", "B/commit", "boxed%")
+	t := stats.NewTable("engine", "workload", "workers", "tx/s", "aborts/attempt", "allocs/commit", "B/commit", "boxed%", "batch", "esc%")
 	for _, r := range results {
+		// batch = mean commits per combining batch (flat-combining engines);
+		// esc% = share of commits that ran escalated (adaptive engines). "-"
+		// where the engine has no such protocol.
+		batch := "-"
+		if r.Stats.CommitBatches > 0 {
+			batch = fmt.Sprintf("%.2f", float64(r.Stats.BatchedCommits)/float64(r.Stats.CommitBatches))
+		}
+		esc := "-"
+		if r.Stats.EscalatedCommits > 0 && r.Stats.Commits > 0 {
+			esc = fmt.Sprintf("%.1f", 100*float64(r.Stats.EscalatedCommits)/float64(r.Stats.Commits))
+		}
 		t.AddRowf(r.Engine, r.Workload, r.Workers,
 			fmt.Sprintf("%.0f", r.Throughput),
 			fmt.Sprintf("%.4f", r.Stats.AbortRate()),
 			fmt.Sprintf("%.1f", r.AllocsPerCommit),
 			fmt.Sprintf("%.0f", r.BytesPerCommit),
-			fmt.Sprintf("%.1f", 100*r.Stats.BoxedShare()))
+			fmt.Sprintf("%.1f", 100*r.Stats.BoxedShare()),
+			batch, esc)
 	}
 	return t
 }
 
 func writeJSON(path string, results []harness.Result) error {
-	data, err := json.MarshalIndent(results, "", "  ")
+	host := harness.CurrentHost()
+	data, err := json.MarshalIndent(harness.Snapshot{Host: &host, Results: results}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -65,10 +64,14 @@ func TestRunBenchOneEngineAndJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var back []harness.Result
-	if err := json.Unmarshal(data, &back); err != nil {
+	snap, err := harness.ParseSnapshot(data)
+	if err != nil {
 		t.Fatalf("JSON round trip: %v", err)
 	}
+	if snap.Host == nil || snap.Host.NumCPU < 1 || snap.Host.GOMAXPROCS < 1 {
+		t.Errorf("written snapshot lacks a usable host header: %+v", snap.Host)
+	}
+	back := snap.Results
 	if len(back) != len(results) || back[0].Engine != "tl2" || back[0].Txs == 0 {
 		t.Errorf("bad records: %+v", back)
 	}

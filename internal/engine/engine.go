@@ -150,6 +150,15 @@ type Stats struct {
 	// lane. Omitted when zero, so snapshots from engines (or eras) without
 	// the counter parse unchanged.
 	BoxedCommits uint64 `json:"boxed_commits,omitempty"`
+	// CommitBatches counts combining batches (lock acquisitions that applied
+	// at least one commit) for flat-combining engines; zero elsewhere.
+	CommitBatches uint64 `json:"commit_batches,omitempty"`
+	// BatchedCommits counts commits applied inside combining batches;
+	// BatchedCommits/CommitBatches is the mean combining factor.
+	BatchedCommits uint64 `json:"batched_commits,omitempty"`
+	// EscalatedCommits counts commits whose attempt ran on an escalated
+	// (global) protocol path for adaptive engines; zero elsewhere.
+	EscalatedCommits uint64 `json:"escalated_commits,omitempty"`
 }
 
 // BoxedShare returns the fraction of commits that took the boxing escape

@@ -11,7 +11,8 @@ func TestRegistryNames(t *testing.T) {
 	for _, want := range []string{
 		"lsa/shared", "lsa/tl2ts", "lsa/sharded", "lsa/mmtimer", "lsa/ideal",
 		"lsa/extsync", "tl2", "tl2/extsync", "tl2/sharded", "wordstm",
-		"rstmval", "norec", "norec/striped", "glock",
+		"rstmval", "norec", "norec/striped", "norec/combined",
+		"norec/adaptive", "glock",
 	} {
 		found := false
 		for _, n := range names {
@@ -35,7 +36,7 @@ func TestRegistryNames(t *testing.T) {
 // -short: a backend whose init forgot to Register (or a registry refactor
 // that drops one) fails the build here, not in a bench someone runs later.
 func TestRegisteredEngineCount(t *testing.T) {
-	const floor = 14
+	const floor = 16
 	if names := Names(); len(names) < floor {
 		t.Fatalf("only %d engines registered, want ≥ %d: %v", len(names), floor, names)
 	}
@@ -143,13 +144,15 @@ func TestEveryBackendRoundTrips(t *testing.T) {
 func TestIntLaneUnboxed(t *testing.T) {
 	const big = 1 << 40
 	budgets := map[string]float64{
-		"norec":         0,
-		"norec/striped": 0,
-		"glock":         0,
-		"rstmval":       0,
-		"tl2":           1, // the shared commit version word
-		"lsa/shared":    2, // per-attempt Tx + lazy settle of the previous commit
-		"wordstm":       6, // native word-Tx machinery (not tuned); the tagged lane still never boxes
+		"norec":          0,
+		"norec/striped":  0,
+		"norec/combined": 0,
+		"norec/adaptive": 0,
+		"glock":          0,
+		"rstmval":        0,
+		"tl2":            1, // the shared commit version word
+		"lsa/shared":     2, // per-attempt Tx + lazy settle of the previous commit
+		"wordstm":        6, // native word-Tx machinery (not tuned); the tagged lane still never boxes
 	}
 	for name, budget := range budgets {
 		t.Run(name, func(t *testing.T) {

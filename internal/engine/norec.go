@@ -19,12 +19,38 @@ import (
 // commits that lock (in ascending order) and validate only the stripes they
 // touched — the ROADMAP probe for where value-based validation stops being
 // the bottleneck once commits no longer serialize on one cache line.
+//
+// The "norec/combined" backend keeps the single sequence lock but amortizes
+// it with flat-combining commits: committers publish validated logs into
+// padded per-thread slots, one thread wins the lock and applies the whole
+// pending batch under a single hold and a single clock bump — the batching
+// pole of the scalable-time-base design space.
+//
+// The "norec/adaptive" backend is the hybrid pole: it runs the striped
+// protocol while transactions stay narrow, and escalates an attempt that
+// fans out past Options.EscalateStripes stripes (or keeps aborting striped)
+// to a global write-window protocol whose reads validate with one shared
+// load.
 func init() {
 	Register("norec", func(o Options) (Engine, error) {
 		return &norecEngine{stm: norec.New()}, nil
 	})
 	Register("norec/striped", func(o Options) (Engine, error) {
 		return &norecStripedEngine{stm: norec.NewStriped()}, nil
+	})
+	Register("norec/combined", func(o Options) (Engine, error) {
+		return &norecCombinedEngine{stm: norec.NewCombined()}, nil
+	})
+	Register("norec/adaptive", func(o Options) (Engine, error) {
+		stm, err := norec.NewAdaptive(norec.AdaptiveOptions{
+			Stripes:         o.Stripes,
+			EscalateStripes: o.EscalateStripes,
+			EscalateAborts:  o.EscalateAborts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &norecAdaptiveEngine{stm: stm}, nil
 	})
 }
 
@@ -123,6 +149,118 @@ func (t norecSTxn) WriteInt(c Cell, v int64) error {
 }
 
 func (t norecSTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
+
+// The combined variant's adapter — same shape over norec.CThread/CTx, plus
+// batch telemetry lifted from the universe into Stats.
+
+type norecCombinedEngine struct {
+	stm *norec.CombinedSTM
+	counterSet
+}
+
+func (e *norecCombinedEngine) Name() string { return "norec/combined" }
+
+func (e *norecCombinedEngine) NewCell(initial any) Cell { return norec.NewObject(initial) }
+
+func (e *norecCombinedEngine) Thread(id int) Thread {
+	th := e.stm.Thread(id)
+	t := &adapterThread[*norec.CTx]{
+		id: id, counters: e.newCounters(),
+		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+	}
+	t.step = func(tx *norec.CTx) error {
+		t.attempts++
+		return t.fn(norecCTxn{tx})
+	}
+	return t
+}
+
+// Stats adds the combining telemetry to the thread counters.
+func (e *norecCombinedEngine) Stats() Stats {
+	s := e.counterSet.Stats()
+	s.CommitBatches, s.BatchedCommits = e.stm.BatchStats()
+	return s
+}
+
+type norecCTxn struct {
+	tx *norec.CTx
+}
+
+func (t norecCTxn) Read(c Cell) (any, error)  { return t.tx.Read(norecCell(c)) }
+func (t norecCTxn) Write(c Cell, v any) error { return t.tx.Write(norecCell(c), v) }
+
+func (t norecCTxn) ReadInt(c Cell) (int64, bool, error) {
+	v, err := t.tx.ReadValue(norecCell(c))
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}
+
+func (t norecCTxn) WriteInt(c Cell, v int64) error {
+	return t.tx.WriteValue(norecCell(c), val.OfInt(int(v)))
+}
+
+func (t norecCTxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
+	return updateIntVia(t, c, f)
+}
+
+// The adaptive variant's adapter — same shape over norec.AThread/ATx, plus
+// escalation telemetry lifted from the universe into Stats.
+
+type norecAdaptiveEngine struct {
+	stm *norec.AdaptiveSTM
+	counterSet
+}
+
+func (e *norecAdaptiveEngine) Name() string { return "norec/adaptive" }
+
+func (e *norecAdaptiveEngine) NewCell(initial any) Cell { return norec.NewObject(initial) }
+
+func (e *norecAdaptiveEngine) Thread(id int) Thread {
+	th := e.stm.Thread(id)
+	t := &adapterThread[*norec.ATx]{
+		id: id, counters: e.newCounters(),
+		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+	}
+	t.step = func(tx *norec.ATx) error {
+		t.attempts++
+		return t.fn(norecATxn{tx})
+	}
+	return t
+}
+
+// Stats adds the escalation telemetry to the thread counters.
+func (e *norecAdaptiveEngine) Stats() Stats {
+	s := e.counterSet.Stats()
+	s.EscalatedCommits = e.stm.EscalatedCommits()
+	return s
+}
+
+type norecATxn struct {
+	tx *norec.ATx
+}
+
+func (t norecATxn) Read(c Cell) (any, error)  { return t.tx.Read(norecCell(c)) }
+func (t norecATxn) Write(c Cell, v any) error { return t.tx.Write(norecCell(c), v) }
+
+func (t norecATxn) ReadInt(c Cell) (int64, bool, error) {
+	v, err := t.tx.ReadValue(norecCell(c))
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok := v.AsInt64()
+	return n, ok, nil
+}
+
+func (t norecATxn) WriteInt(c Cell, v int64) error {
+	return t.tx.WriteValue(norecCell(c), val.OfInt(int(v)))
+}
+
+func (t norecATxn) UpdateInt(c Cell, f func(int64) int64) (bool, error) {
 	return updateIntVia(t, c, f)
 }
 

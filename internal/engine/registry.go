@@ -34,6 +34,17 @@ type Options struct {
 	// ("aggressive", "suicide", "polite", "karma", "timestamp"; "" = engine
 	// default).
 	ContentionManager string
+	// Stripes is the sequence-lock stripe count for "norec/adaptive": a
+	// power of two in [1, 64]. 0 selects the engine default (64).
+	Stripes int
+	// EscalateStripes is "norec/adaptive"'s touched-stripe threshold: an
+	// attempt about to span more stripes than this escalates to the global
+	// protocol. 0 selects the engine default (8).
+	EscalateStripes int
+	// EscalateAborts is how many striped attempts of one "norec/adaptive"
+	// transaction may abort before attempts start escalated. 0 selects the
+	// engine default (3).
+	EscalateAborts int
 }
 
 func (o Options) withDefaults() Options {

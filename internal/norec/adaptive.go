@@ -1,0 +1,577 @@
+package norec
+
+// The adaptive variant: striped NOrec that escalates wide transactions to a
+// global-window protocol. The striped protocol (striped.go) wins when
+// transactions stay narrow — disjoint commits bump disjoint stripe lines —
+// but a transaction that fans out over many stripes pays O(touched stripes)
+// at every first touch and at every validation. AdaptiveSTM runs the
+// striped protocol by default, counts the stripes an attempt's read set
+// touches, and escalates an attempt to the global path when it crosses a
+// threshold (mid-attempt, keeping the validated log) or when striped
+// attempts keep aborting (the retry loop starts the attempt escalated).
+//
+// The global path replaces per-stripe snapshots with one pair of shared
+// write-window counters (wstart, wfin) — a multi-writer sequence lock:
+// every writer bumps wstart when it enters its commit critical section
+// (write stripes locked, before validation) and wfin when it leaves
+// (after write-back or abort). A reader observes a stable point whenever
+// wstart == wfin and wstart is unchanged across its read or validation
+// scan: any write-back overlapping the scan implies a writer either active
+// at its start (wstart > wfin) or arriving during it (wstart moved).
+// Escalated reads therefore cost one shared load instead of a per-stripe
+// establishment — the wide-scan tax is gone — at the price of reintroducing
+// a shared cache line, which is exactly the trade the escalation threshold
+// arbitrates.
+//
+// Coexistence protocol (who bumps the window):
+//
+//   - Escalated transactions register in esc for the whole attempt. While
+//     esc != 0, striped committers bracket their critical section — from
+//     after phase-1 locking through write-back/abort — with wstart/wfin.
+//     With esc == 0 (no escalated transaction anywhere) striped commits
+//     touch no shared line, preserving the striped scaling story.
+//   - Registration race: a striped committer that loaded esc == 0 already
+//     held all its write stripes when the escalated transaction registered
+//     (the esc load sits after phase 1). So escalation drains once — waits
+//     for every stripe to be momentarily quiescent — before taking its
+//     first window snapshot: any unbracketed write-back still in flight
+//     completes before the drain does, and every later committer observes
+//     esc != 0 and brackets.
+//   - Escalated commits still lock their write stripes (ascending, like
+//     striped commits) so striped readers and validators observe their
+//     write-backs through the stripe sequences, and bump the window so
+//     escalated readers observe them too.
+//
+// Serializability of the mixed mode is the striped argument extended by
+// the window: a striped transaction's validation orders against a foreign
+// writer's stripe locks (quiescence check), an escalated transaction's
+// validation orders against a foreign writer's window entry — which the
+// writer performs at lock time, not write-back time, so "validated before
+// the window opened" implies "validated before the locks were taken" and
+// the two-transaction cycle collapses exactly as in the striped proof.
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/val"
+)
+
+// Adaptive protocol defaults.
+const (
+	// DefaultEscalateStripes is the touched-stripe count beyond which an
+	// attempt escalates mid-flight.
+	DefaultEscalateStripes = 8
+	// DefaultEscalateAborts is the number of aborted striped attempts after
+	// which the retry loop starts attempts escalated.
+	DefaultEscalateAborts = 3
+)
+
+// AdaptiveOptions parameterize an adaptive universe. Zero values select the
+// defaults.
+type AdaptiveOptions struct {
+	// Stripes is the number of sequence-lock stripes: a power of two in
+	// [1, 64] (the touched-stripe tracking is a uint64 bitmap). Default 64.
+	Stripes int
+	// EscalateStripes is the touched-stripe threshold: an attempt whose
+	// read set is about to span more stripes than this escalates to the
+	// global path. Values ≥ Stripes never escalate by width. Default 8.
+	EscalateStripes int
+	// EscalateAborts is how many striped attempts of one transaction may
+	// abort before the retry loop starts attempts escalated. Default 3.
+	EscalateAborts int
+}
+
+// AdaptiveSTM is a NOrec universe running the striped protocol with
+// per-attempt escalation to a global write-window protocol.
+type AdaptiveSTM struct {
+	stripes  [stripeCount]stripe
+	nstripes int
+	mask     uint32
+	// escStripes/escAborts are the escalation thresholds (see
+	// AdaptiveOptions).
+	escStripes int
+	escAborts  int
+
+	_ [64]byte
+	// esc counts registered escalated attempts; striped committers bracket
+	// their critical sections with the window only while it is nonzero.
+	esc atomic.Int64
+	_   [56]byte
+	// wstart/wfin are the global write-window counters: wstart is bumped by
+	// a writer entering its critical section (stripes locked), wfin by the
+	// writer leaving it. wstart == wfin means no writer is mid-flight.
+	wstart atomic.Int64
+	_      [56]byte
+	wfin   atomic.Int64
+	_      [56]byte
+	// escCommits counts commits whose attempt ran escalated — the
+	// escalation-rate telemetry.
+	escCommits atomic.Uint64
+}
+
+// NewAdaptive creates an adaptive universe.
+func NewAdaptive(o AdaptiveOptions) (*AdaptiveSTM, error) {
+	if o.Stripes == 0 {
+		o.Stripes = stripeCount
+	}
+	if o.Stripes < 1 || o.Stripes > stripeCount || o.Stripes&(o.Stripes-1) != 0 {
+		return nil, fmt.Errorf("norec: adaptive stripe count %d not a power of two in [1, %d]", o.Stripes, stripeCount)
+	}
+	if o.EscalateStripes == 0 {
+		o.EscalateStripes = DefaultEscalateStripes
+	}
+	if o.EscalateStripes < 1 {
+		return nil, fmt.Errorf("norec: adaptive escalation threshold %d < 1", o.EscalateStripes)
+	}
+	if o.EscalateAborts == 0 {
+		o.EscalateAborts = DefaultEscalateAborts
+	}
+	if o.EscalateAborts < 1 {
+		return nil, fmt.Errorf("norec: adaptive abort-escalation threshold %d < 1", o.EscalateAborts)
+	}
+	return &AdaptiveSTM{
+		nstripes:   o.Stripes,
+		mask:       uint32(o.Stripes - 1),
+		escStripes: o.EscalateStripes,
+		escAborts:  o.EscalateAborts,
+	}, nil
+}
+
+// EscalatedCommits returns how many commits ran escalated. Call while no
+// transactions run.
+func (s *AdaptiveSTM) EscalatedCommits() uint64 { return s.escCommits.Load() }
+
+// sindex maps an object to its stripe under this universe's stripe count.
+func (s *AdaptiveSTM) sindex(o *Object) uint { return uint(o.sid & s.mask) }
+
+// ATx is one transaction attempt against an adaptive universe. Recycled by
+// its thread like STx; the escalated flag selects the protocol the rest of
+// the attempt runs.
+type ATx struct {
+	stm       *AdaptiveSTM
+	readOnly  bool
+	boxed     bool
+	escalated bool
+	reads     []readEntry
+	writeSet
+	// Striped-mode state (see STx).
+	touched  uint64
+	snaps    [stripeCount]int64
+	lockVals [stripeCount]int64
+	// gsnap is the escalated-mode snapshot: the wstart value the value log
+	// is consistent at (taken with wstart == wfin).
+	gsnap int64
+}
+
+// reset rearms the attempt; escalated attempts register before their first
+// read. With an empty log the registration's revalidation cannot abort.
+func (tx *ATx) reset(stm *AdaptiveSTM, readOnly, escalated bool) {
+	tx.stm = stm
+	tx.readOnly = readOnly
+	tx.boxed = false
+	tx.escalated = false
+	tx.reads = tx.reads[:0]
+	tx.writeSet.reset()
+	tx.touched = 0
+	if escalated {
+		// Cannot fail: the value log is empty.
+		_ = tx.escalate()
+	}
+}
+
+// escalate switches the attempt to the global protocol: register (so
+// striped committers start bracketing their write-backs), drain the
+// stripes once (committers that pre-date the registration and never
+// bracket finish before the drain does), then move the already-validated
+// value log to a stable window point. The log stays exact across the
+// switch — on revalidation failure the attempt aborts and the next one
+// starts escalated.
+func (tx *ATx) escalate() error {
+	stm := tx.stm
+	stm.esc.Add(1)
+	tx.escalated = true
+	for s := 0; s < stm.nstripes; s++ {
+		stm.stripes[s].waitQuiescent()
+	}
+	return tx.grevalidate()
+}
+
+// grevalidate re-checks the whole value log at a stable window point and
+// adopts it as the escalated snapshot — the global-path revalidate loop.
+func (tx *ATx) grevalidate() error {
+	stm := tx.stm
+	for i := 0; ; i++ {
+		s := stm.wstart.Load()
+		if stm.wfin.Load() != s {
+			// A writer is mid-flight; its write-back may be half-visible.
+			if i > 32 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		for j := range tx.reads {
+			if !stillValid(&tx.reads[j]) {
+				return ErrAborted
+			}
+		}
+		// The scan only proves consistency at s if no writer entered the
+		// window while it ran.
+		if stm.wstart.Load() == s {
+			tx.gsnap = s
+			return nil
+		}
+	}
+}
+
+// Read returns o's value in the transaction's snapshot as `any`.
+func (tx *ATx) Read(o *Object) (any, error) {
+	v, err := tx.ReadValue(o)
+	if err != nil {
+		return nil, err
+	}
+	return v.Load(), nil
+}
+
+// ReadValue returns o's value in the transaction's snapshot. Striped mode
+// mirrors STx.ReadValue; crossing the touched-stripe threshold escalates
+// the attempt in place; escalated mode validates against the write window
+// only.
+func (tx *ATx) ReadValue(o *Object) (val.Value, error) {
+	if idx, ok := tx.lookup(o); ok {
+		return tx.writes[idx].v, nil
+	}
+	if tx.escalated {
+		return tx.readGlobal(o)
+	}
+	stm := tx.stm
+	s := stm.sindex(o)
+	bit := uint64(1) << s
+	if tx.touched&bit == 0 && bits.OnesCount64(tx.touched|bit) > stm.escStripes {
+		if err := tx.escalate(); err != nil {
+			return val.Value{}, err
+		}
+		return tx.readGlobal(o)
+	}
+	for {
+		if tx.touched&bit == 0 || stm.stripes[s].seq.Load() != tx.snaps[s] {
+			if err := tx.establish(bit); err != nil {
+				return val.Value{}, err
+			}
+			continue
+		}
+		num, box := o.cell.Snapshot()
+		if stm.stripes[s].seq.Load() != tx.snaps[s] {
+			continue // a commit landed between the loads; re-establish
+		}
+		tx.reads = append(tx.reads, readEntry{obj: o, num: num, box: box})
+		return val.Decode(num, box), nil
+	}
+}
+
+// readGlobal is the escalated read path: one shared load validates the
+// snapshot, the write window detects concurrent write-backs.
+func (tx *ATx) readGlobal(o *Object) (val.Value, error) {
+	stm := tx.stm
+	for {
+		num, box := o.cell.Snapshot()
+		if stm.wstart.Load() == tx.gsnap {
+			// No writer entered the window since the snapshot point, so no
+			// memory changed: the pair is consistent with the logged values.
+			tx.reads = append(tx.reads, readEntry{obj: o, num: num, box: box})
+			return val.Decode(num, box), nil
+		}
+		if err := tx.grevalidate(); err != nil {
+			return val.Value{}, err
+		}
+	}
+}
+
+// establish mirrors STx.establish over the adaptive universe's stripes,
+// including the moved-bitmap fast path: a first touch with no moved stripe
+// extends the common point without walking the value log.
+func (tx *ATx) establish(newBits uint64) error {
+	stm := tx.stm
+	want := tx.touched | newBits
+	for {
+		var cur [stripeCount]int64
+		var moved uint64
+		for m := want; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			cur[s] = stm.stripes[s].waitQuiescent()
+			if tx.touched&(uint64(1)<<s) != 0 && cur[s] != tx.snaps[s] {
+				moved |= uint64(1) << s
+			}
+		}
+		if moved != 0 {
+			for i := range tx.reads {
+				r := &tx.reads[i]
+				if moved&(uint64(1)<<stm.sindex(r.obj)) == 0 {
+					continue
+				}
+				if !stillValid(r) {
+					return ErrAborted
+				}
+			}
+		}
+		stable := true
+		for m := want; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			if stm.stripes[s].seq.Load() != cur[s] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			for m := want; m != 0; m &= m - 1 {
+				s := uint(bits.TrailingZeros64(m))
+				tx.snaps[s] = cur[s]
+			}
+			tx.touched = want
+			return nil
+		}
+	}
+}
+
+// Write buffers the new value; it becomes visible at commit.
+func (tx *ATx) Write(o *Object, v any) error {
+	return tx.WriteValue(o, val.OfAny(v))
+}
+
+// WriteValue buffers the new typed value; numeric-lane values never box.
+func (tx *ATx) WriteValue(o *Object, v val.Value) error {
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if v.Kind() == val.KindBoxed {
+		tx.boxed = true
+	}
+	if idx, ok := tx.lookup(o); ok {
+		tx.writes[idx].v = v
+		return nil
+	}
+	tx.add(o, v)
+	return nil
+}
+
+// lockWriteStripes runs phase 1 of both commit modes: lock every write
+// stripe in ascending index order (no deadlock among lockers) and record
+// the pre-lock values for release or restore.
+func (tx *ATx) lockWriteStripes() (wmask uint64) {
+	stm := tx.stm
+	for i := range tx.writes {
+		wmask |= uint64(1) << stm.sindex(tx.writes[i].obj)
+	}
+	for m := wmask; m != 0; m &= m - 1 {
+		s := uint(bits.TrailingZeros64(m))
+		st := &stm.stripes[s]
+		for i := 0; ; i++ {
+			v := st.seq.Load()
+			if v&1 == 0 && st.seq.CompareAndSwap(v, v+1) {
+				tx.lockVals[s] = v
+				break
+			}
+			if i > 32 {
+				runtime.Gosched()
+			}
+		}
+	}
+	return wmask
+}
+
+// release unlocks every stripe in mask: committed stripes advance by two,
+// aborted ones restore the exact pre-lock value.
+func (tx *ATx) release(mask uint64, committed bool) {
+	for m := mask; m != 0; m &= m - 1 {
+		s := uint(bits.TrailingZeros64(m))
+		v := tx.lockVals[s]
+		if committed {
+			v += 2
+		}
+		tx.stm.stripes[s].seq.Store(v)
+	}
+}
+
+// commit dispatches on the attempt's protocol. Write-free transactions are
+// consistent at their latest establishment (or window point) and commit
+// without touching any lock.
+func (tx *ATx) commit() error {
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	if tx.escalated {
+		return tx.commitGlobal()
+	}
+	return tx.commitStriped()
+}
+
+// commitStriped is STx.commit plus the escalation window: while any
+// escalated attempt is registered, the whole critical section — validation
+// through write-back — is bracketed by wstart/wfin so escalated readers
+// order against it. The esc load sits after phase 1, which is what the
+// escalation drain relies on.
+func (tx *ATx) commitStriped() error {
+	stm := tx.stm
+	wmask := tx.lockWriteStripes()
+	inWindow := stm.esc.Load() != 0
+	if inWindow {
+		stm.wstart.Add(1)
+	}
+	// Phase 2: validate the read log. Held stripes are stable by ownership;
+	// foreign stripes are checked under the bounded quiescence re-check loop
+	// (a holder validating against one of our stripes must resolve by one of
+	// us aborting).
+	var rmask uint64
+	for i := range tx.reads {
+		rmask |= uint64(1) << stm.sindex(tx.reads[i].obj)
+	}
+	foreign := rmask &^ wmask
+	var cur [stripeCount]int64
+rounds:
+	for round := 0; ; round++ {
+		if round >= 64 {
+			tx.release(wmask, false)
+			if inWindow {
+				stm.wfin.Add(1)
+			}
+			return ErrAborted
+		}
+		for m := foreign; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			v := stm.stripes[s].seq.Load()
+			if v&1 == 1 {
+				runtime.Gosched()
+				continue rounds
+			}
+			cur[s] = v
+		}
+		for i := range tx.reads {
+			if !stillValid(&tx.reads[i]) {
+				tx.release(wmask, false)
+				if inWindow {
+					stm.wfin.Add(1)
+				}
+				return ErrAborted
+			}
+		}
+		for m := foreign; m != 0; m &= m - 1 {
+			s := uint(bits.TrailingZeros64(m))
+			if stm.stripes[s].seq.Load() != cur[s] {
+				continue rounds
+			}
+		}
+		break
+	}
+	// Phase 3: write back, release every held stripe with the next even
+	// value, close the window.
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		w.obj.cell.Store(w.v)
+	}
+	tx.release(wmask, true)
+	if inWindow {
+		stm.wfin.Add(1)
+	}
+	return nil
+}
+
+// commitGlobal is the escalated commit: lock the write stripes (striped
+// transactions order against us through them), enter the window, validate
+// the whole value log at a point where no other writer is mid-flight, write
+// back, and leave. The only-writer check (wfin == wstart−1: our own entry
+// is the one outstanding) is bounded — a peer stuck in its own validation
+// against our stripes aborts within its bounded loop, so waiting resolves.
+func (tx *ATx) commitGlobal() error {
+	stm := tx.stm
+	wmask := tx.lockWriteStripes()
+	stm.wstart.Add(1)
+	for round := 0; ; round++ {
+		if round >= 64 {
+			tx.release(wmask, false)
+			stm.wfin.Add(1)
+			return ErrAborted
+		}
+		s := stm.wstart.Load()
+		if stm.wfin.Load() != s-1 {
+			runtime.Gosched()
+			continue
+		}
+		valid := true
+		for i := range tx.reads {
+			if !stillValid(&tx.reads[i]) {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			tx.release(wmask, false)
+			stm.wfin.Add(1)
+			return ErrAborted
+		}
+		if stm.wstart.Load() == s {
+			break
+		}
+	}
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		w.obj.cell.Store(w.v)
+	}
+	tx.release(wmask, true)
+	stm.wfin.Add(1)
+	return nil
+}
+
+// AThread is a worker context for the adaptive universe. It owns the one
+// ATx it recycles across attempts — single goroutine only.
+type AThread struct {
+	stm          *AdaptiveSTM
+	tx           ATx
+	boxedCommits uint64
+}
+
+// Thread creates a worker context.
+func (s *AdaptiveSTM) Thread(id int) *AThread { return &AThread{stm: s} }
+
+// BoxedCommits returns how many of this thread's commits wrote at least one
+// escape-hatch (boxed) payload.
+func (t *AThread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// Run executes fn transactionally, retrying on aborts.
+func (t *AThread) Run(fn func(*ATx) error) error { return t.run(false, fn) }
+
+// RunReadOnly executes fn as a read-only transaction (writes rejected).
+func (t *AThread) RunReadOnly(fn func(*ATx) error) error { return t.run(true, fn) }
+
+func (t *AThread) run(readOnly bool, fn func(*ATx) error) error {
+	tx := &t.tx
+	stm := t.stm
+	for attempt := 0; ; attempt++ {
+		// Repeated striped aborts escalate the whole attempt from the start.
+		tx.reset(stm, readOnly, attempt >= stm.escAborts)
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit()
+		}
+		if tx.escalated {
+			stm.esc.Add(-1)
+		}
+		if err == nil {
+			if tx.escalated {
+				stm.escCommits.Add(1)
+			}
+			if tx.boxed {
+				t.boxedCommits++
+			}
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+		if attempt > 2 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package norec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAdaptiveRoundTrip(t *testing.T) {
+	s, err := NewAdaptive(AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewObject(41)
+	th := s.Thread(0)
+	if err := th.Run(func(tx *ATx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v.(int)+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	if err := th.RunReadOnly(func(tx *ATx) error {
+		v, err := tx.Read(o)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("read back %v, want 42", got)
+	}
+	if n := s.EscalatedCommits(); n != 0 {
+		t.Errorf("narrow transactions escalated %d times", n)
+	}
+}
+
+func TestAdaptiveReadOnlyRejectsWrites(t *testing.T) {
+	s, _ := NewAdaptive(AdaptiveOptions{})
+	o := NewObject(0)
+	if err := s.Thread(0).RunReadOnly(func(tx *ATx) error {
+		return tx.Write(o, 1)
+	}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestAdaptiveOptionsValidation(t *testing.T) {
+	for _, bad := range []AdaptiveOptions{
+		{Stripes: 3},
+		{Stripes: 65},
+		{Stripes: 128},
+		{Stripes: -4},
+		{EscalateStripes: -1},
+		{EscalateAborts: -1},
+	} {
+		if _, err := NewAdaptive(bad); err == nil {
+			t.Errorf("NewAdaptive(%+v) accepted invalid options", bad)
+		}
+	}
+	for _, good := range []AdaptiveOptions{
+		{},
+		{Stripes: 1},
+		{Stripes: 16, EscalateStripes: 4, EscalateAborts: 1},
+		{Stripes: 64, EscalateStripes: 64},
+	} {
+		if _, err := NewAdaptive(good); err != nil {
+			t.Errorf("NewAdaptive(%+v): %v", good, err)
+		}
+	}
+}
+
+// TestAdaptiveEscalatesOnWidth: with the threshold at 1 stripe, a
+// transaction that touches two stripes must escalate mid-attempt, keep its
+// validated log, and commit on the global path.
+func TestAdaptiveEscalatesOnWidth(t *testing.T) {
+	s, err := NewAdaptive(AdaptiveOptions{EscalateStripes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewObject(10), NewObject(20)
+	if s.sindex(a) == s.sindex(b) {
+		t.Fatal("test objects landed in one stripe; round-robin sid broken")
+	}
+	th := s.Thread(0)
+	if err := th.Run(func(tx *ATx) error {
+		av, err := tx.Read(a)
+		if err != nil {
+			return err
+		}
+		if tx.escalated {
+			t.Error("single-stripe attempt escalated too early")
+		}
+		bv, err := tx.Read(b) // second stripe: crosses the threshold
+		if err != nil {
+			return err
+		}
+		if !tx.escalated {
+			t.Error("two-stripe attempt did not escalate past threshold 1")
+		}
+		return tx.Write(a, av.(int)+bv.(int))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.EscalatedCommits(); n != 1 {
+		t.Errorf("EscalatedCommits = %d, want 1", n)
+	}
+	var got any
+	if err := th.RunReadOnly(func(tx *ATx) error {
+		v, err := tx.Read(a)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Errorf("escalated commit result = %v, want 30", got)
+	}
+	// The escalated attempt deregistered: the window bracket must be off.
+	if v := s.esc.Load(); v != 0 {
+		t.Errorf("escalation count leaked: %d registered after completion", v)
+	}
+	if ws, wf := s.wstart.Load(), s.wfin.Load(); ws != wf {
+		t.Errorf("write window left open: wstart=%d wfin=%d", ws, wf)
+	}
+}
+
+// TestAdaptiveEscalatesOnAborts: with EscalateAborts = 1, an attempt that
+// aborts once on the striped path must be retried escalated.
+func TestAdaptiveEscalatesOnAborts(t *testing.T) {
+	s, err := NewAdaptive(AdaptiveOptions{EscalateAborts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewObject(0)
+	th, other := s.Thread(0), s.Thread(1)
+	attempt := 0
+	sawEscalated := false
+	if err := th.Run(func(tx *ATx) error {
+		attempt++
+		if tx.escalated {
+			sawEscalated = true
+		}
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		if attempt == 1 {
+			// A foreign commit invalidates the logged read: the striped
+			// commit below must abort this attempt.
+			if err := other.Run(func(tx2 *ATx) error {
+				return tx2.Write(o, 99)
+			}); err != nil {
+				return err
+			}
+		}
+		return tx.Write(o, v.(int)+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempt < 2 {
+		t.Fatalf("conflicting attempt did not abort (attempts = %d)", attempt)
+	}
+	if !sawEscalated {
+		t.Error("retry after EscalateAborts striped aborts did not start escalated")
+	}
+	if n := s.EscalatedCommits(); n != 1 {
+		t.Errorf("EscalatedCommits = %d, want 1", n)
+	}
+	var got any
+	if err := th.RunReadOnly(func(tx *ATx) error {
+		v, err := tx.Read(o)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("final value = %v, want 100", got)
+	}
+}
+
+// TestAdaptiveMixedWidthStress runs narrow striped transfers and wide
+// escalating scans/rotations against the same universe: the conservation
+// invariant (constant sum) must hold inside every wide snapshot and at the
+// end, with both protocols committing concurrently.
+func TestAdaptiveMixedWidthStress(t *testing.T) {
+	s, err := NewAdaptive(AdaptiveOptions{EscalateStripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ncells = 32
+	const initial = 1000
+	cells := make([]*Object, ncells)
+	for i := range cells {
+		cells[i] = NewObject(initial)
+	}
+	const workers = 4
+	const iters = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.Thread(id)
+			rng := uint64(id)*2654435761 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < iters; i++ {
+				var err error
+				if i%8 == 0 {
+					// Wide: read every cell (escalates past 4 stripes),
+					// check conservation, rotate one unit around the ring.
+					err = th.Run(func(tx *ATx) error {
+						sum := 0
+						var vals [ncells]int
+						for j, c := range cells {
+							v, err := tx.Read(c)
+							if err != nil {
+								return err
+							}
+							vals[j] = v.(int)
+							sum += vals[j]
+						}
+						if sum != ncells*initial {
+							t.Errorf("wide snapshot sum = %d, want %d", sum, ncells*initial)
+						}
+						for j, c := range cells {
+							if err := tx.Write(c, vals[(j+1)%ncells]); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				} else {
+					// Narrow: move one unit between two cells (striped path).
+					from := int(next() % ncells)
+					to := int(next() % ncells)
+					err = th.Run(func(tx *ATx) error {
+						fv, err := tx.Read(cells[from])
+						if err != nil {
+							return err
+						}
+						tv, err := tx.Read(cells[to])
+						if err != nil {
+							return err
+						}
+						if from == to {
+							return nil
+						}
+						if err := tx.Write(cells[from], fv.(int)-1); err != nil {
+							return err
+						}
+						return tx.Write(cells[to], tv.(int)+1)
+					})
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	if err := s.Thread(workers).RunReadOnly(func(tx *ATx) error {
+		sum = 0
+		for _, c := range cells {
+			v, err := tx.Read(c)
+			if err != nil {
+				return err
+			}
+			sum += v.(int)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != ncells*initial {
+		t.Errorf("final sum = %d, want %d (conservation violated)", sum, ncells*initial)
+	}
+	if s.EscalatedCommits() == 0 {
+		t.Error("stress never exercised the escalated path")
+	}
+	if v := s.esc.Load(); v != 0 {
+		t.Errorf("escalation count leaked: %d", v)
+	}
+	if ws, wf := s.wstart.Load(), s.wfin.Load(); ws != wf {
+		t.Errorf("write window left open: wstart=%d wfin=%d", ws, wf)
+	}
+}
+
+// FuzzAdaptiveEscalation is the satellite fuzz target for the escalation
+// decision: the same single-threaded operation sequence runs on a universe
+// that never escalates by width (threshold 64) and one that escalates on
+// the second stripe (threshold 1). Protocol choice must be invisible —
+// identical read traces and identical final states.
+func FuzzAdaptiveEscalation(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x13, 0x99, 0x07, 0x00, 0xff, 0x3c})
+	f.Add([]byte{0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28, 0x29})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const ncells = 16
+		run := func(opts AdaptiveOptions) (trace []int64, final [ncells]int64) {
+			s, err := NewAdaptive(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells := make([]*Object, ncells)
+			for i := range cells {
+				cells[i] = NewObject(int64(100 + i))
+			}
+			th := s.Thread(0)
+			// Group ops in fours into one transaction each. Reads are
+			// collected locally and appended to the trace only after the
+			// commit, so a (hypothetical) retry cannot duplicate them.
+			for pos := 0; pos < len(data); pos += 4 {
+				ops := data[pos:min(pos+4, len(data))]
+				var local []int64
+				if err := th.Run(func(tx *ATx) error {
+					local = local[:0]
+					for i, b := range ops {
+						c := cells[int(b>>2)%ncells]
+						switch b & 3 {
+						case 0, 1: // read
+							v, err := tx.Read(c)
+							if err != nil {
+								return err
+							}
+							local = append(local, v.(int64))
+						case 2: // overwrite
+							if err := tx.Write(c, int64(b)*7+int64(i)); err != nil {
+								return err
+							}
+						case 3: // read-modify-write
+							v, err := tx.Read(c)
+							if err != nil {
+								return err
+							}
+							if err := tx.Write(c, v.(int64)+1); err != nil {
+								return err
+							}
+							local = append(local, v.(int64))
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				trace = append(trace, local...)
+			}
+			if err := th.RunReadOnly(func(tx *ATx) error {
+				for i, c := range cells {
+					v, err := tx.Read(c)
+					if err != nil {
+						return err
+					}
+					final[i] = v.(int64)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return trace, final
+		}
+		striped, stripedFinal := run(AdaptiveOptions{EscalateStripes: stripeCount})
+		escalated, escalatedFinal := run(AdaptiveOptions{EscalateStripes: 1})
+		if len(striped) != len(escalated) {
+			t.Fatalf("trace lengths diverge: %d striped vs %d escalated", len(striped), len(escalated))
+		}
+		for i := range striped {
+			if striped[i] != escalated[i] {
+				t.Fatalf("read %d diverges: %d striped vs %d escalated", i, striped[i], escalated[i])
+			}
+		}
+		if stripedFinal != escalatedFinal {
+			t.Fatalf("final states diverge:\n  striped:   %v\n  escalated: %v", stripedFinal, escalatedFinal)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package norec
+
+// The combined variant: NOrec with flat-combining commits. Plain NOrec
+// serializes every update commit on the global sequence lock — one
+// compare-and-swap, one write-back, one +2 bump per commit, all on the same
+// cache line. CombinedSTM keeps the single lock but amortizes it: a
+// committer publishes its validated logs into a padded per-thread slot and
+// then either finds its outcome already decided, or wins the sequence lock
+// and becomes the combiner — applying every pending commit in the slot
+// array under ONE lock hold and ONE clock bump, and posting each batched
+// committer's outcome into its slot.
+//
+// Exactness of batched validation: the combiner re-validates each request's
+// whole value log against current memory immediately before applying its
+// writes, in slot order. Memory only changes under the held lock by the
+// combiner's own earlier write-backs, so a request whose read set was
+// invalidated by an earlier member of the same batch fails this validation
+// and is aborted — batching never silently applies a stale commit — while a
+// request whose reads still match (including NOrec's silent-restore
+// tolerance) commits exactly as if it had held the lock itself.
+//
+// Synchronization: the owner's plain log writes are published to the
+// combiner by the slot's req pointer store (owner: logs, then req.Store;
+// combiner: req.Load, then logs), and the combiner's outcome — plus any
+// snapshot adoption stillValid performed inside the logs — travels back
+// through the outcome store the owner spins on. The owner never touches its
+// Tx between those two atomics, so recycling stays single-owner.
+//
+// Within the paper's taxonomy this is the batching pole of the
+// scalable-time-base design space: the shared clock still exists, but its
+// cost is paid once per batch instead of once per commit.
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Slot outcome states. The zero value is idle (no request ever armed); the
+// owner arms the slot with slotPending before publishing the request, and
+// only the combiner moves it to a decided state.
+const (
+	slotPending int32 = 1 + iota
+	slotCommitted
+	slotAborted
+)
+
+// cslot is one thread's combining slot, padded so spinning on one slot
+// never bounces a neighbour's line.
+type cslot struct {
+	req     atomic.Pointer[CTx]
+	outcome atomic.Int32
+	_       [52]byte
+}
+
+// CombinedSTM is a NOrec universe with flat-combining commits. The embedded
+// STM supplies the sequence lock and the execution-phase read protocol.
+type CombinedSTM struct {
+	STM
+	// Batch telemetry: lock acquisitions that applied at least one commit,
+	// and the commits they applied. BatchedCommits/Batches is the mean
+	// combining factor — how many clock bumps the batching saved.
+	batches        atomic.Uint64
+	batchedCommits atomic.Uint64
+
+	mu    sync.Mutex
+	slots atomic.Pointer[[]*cslot]
+}
+
+// NewCombined creates a combined universe with the sequence lock at zero.
+func NewCombined() *CombinedSTM { return &CombinedSTM{} }
+
+// BatchStats returns the number of combining batches applied and the total
+// commits they contained. Call while no transactions run.
+func (s *CombinedSTM) BatchStats() (batches, commits uint64) {
+	return s.batches.Load(), s.batchedCommits.Load()
+}
+
+// addSlot registers a new combining slot (copy-on-write so the combiner
+// reads the slice without a lock). One allocation per Thread, none per
+// transaction.
+func (s *CombinedSTM) addSlot() *cslot {
+	sl := &cslot{}
+	s.mu.Lock()
+	var next []*cslot
+	if old := s.slots.Load(); old != nil {
+		next = append(append(make([]*cslot, 0, len(*old)+1), *old...), sl)
+	} else {
+		next = []*cslot{sl}
+	}
+	s.slots.Store(&next)
+	s.mu.Unlock()
+	return sl
+}
+
+// CTx is one transaction attempt against a combined universe. The embedded
+// Tx provides the whole execution phase — reads, incremental validation and
+// the buffered write set run the plain NOrec protocol against the embedded
+// STM's sequence lock — only commit is replaced by the combining protocol.
+type CTx struct {
+	Tx
+	cstm *CombinedSTM
+}
+
+// commit publishes the attempt into slot and waits for a combiner (possibly
+// this thread) to decide it.
+func (tx *CTx) commit(slot *cslot) error {
+	if len(tx.writes) == 0 {
+		// Incremental validation already proved the read set consistent at
+		// tx.snapshot and nothing was written.
+		return nil
+	}
+	stm := tx.cstm
+	slot.outcome.Store(slotPending)
+	slot.req.Store(tx)
+	for i := 0; ; i++ {
+		if out := slot.outcome.Load(); out != slotPending {
+			if out == slotCommitted {
+				return nil
+			}
+			return ErrAborted
+		}
+		// Not decided yet: try to become the combiner. A failed CAS means
+		// another combiner holds the lock and will visit our slot if it
+		// loaded the request in time — otherwise we get the lock next.
+		if v := stm.seq.Load(); v&1 == 0 && stm.seq.CompareAndSwap(v, v+1) {
+			stm.combine(v)
+			if slot.outcome.Load() == slotCommitted {
+				return nil
+			}
+			return ErrAborted
+		}
+		if i > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// combine runs with the sequence lock held (odd, acquired from even v): it
+// scans every slot, validates and applies each pending request in slot
+// order, posts outcomes, and releases the lock with a single +2 bump for
+// the whole batch — or restores v exactly when every request failed
+// validation, since no memory was written and concurrent value logs
+// snapshotted at v must stay valid.
+func (stm *CombinedSTM) combine(v int64) {
+	slots := *stm.slots.Load()
+	applied := uint64(0)
+	for _, s := range slots {
+		req := s.req.Load()
+		if req == nil {
+			continue
+		}
+		ok := true
+		for i := range req.reads {
+			// Current memory includes the write-backs of earlier batch
+			// members: a request they invalidated fails here and aborts
+			// instead of being silently applied.
+			if !stillValid(&req.reads[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for i := range req.writes {
+				w := &req.writes[i]
+				w.obj.cell.Store(w.v)
+			}
+			applied++
+		}
+		// Clear the request before posting the outcome: the owner is free to
+		// recycle the Tx the moment the outcome lands.
+		s.req.Store(nil)
+		if ok {
+			s.outcome.Store(slotCommitted)
+		} else {
+			s.outcome.Store(slotAborted)
+		}
+	}
+	if applied > 0 {
+		stm.batches.Add(1)
+		stm.batchedCommits.Add(applied)
+		stm.seq.Store(v + 2)
+	} else {
+		stm.seq.Store(v)
+	}
+}
+
+// CThread is a worker context for the combined universe. It owns its
+// combining slot and the one CTx it recycles across attempts — single
+// goroutine only.
+type CThread struct {
+	stm          *CombinedSTM
+	slot         *cslot
+	tx           CTx
+	boxedCommits uint64
+}
+
+// Thread creates a worker context (and its combining slot).
+func (s *CombinedSTM) Thread(id int) *CThread {
+	t := &CThread{stm: s, slot: s.addSlot()}
+	t.tx.cstm = s
+	return t
+}
+
+// BoxedCommits returns how many of this thread's commits wrote at least one
+// escape-hatch (boxed) payload.
+func (t *CThread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// Run executes fn transactionally, retrying on aborts.
+func (t *CThread) Run(fn func(*CTx) error) error { return t.run(false, fn) }
+
+// RunReadOnly executes fn as a read-only transaction (writes rejected).
+func (t *CThread) RunReadOnly(fn func(*CTx) error) error { return t.run(true, fn) }
+
+func (t *CThread) run(readOnly bool, fn func(*CTx) error) error {
+	tx := &t.tx
+	for {
+		tx.Tx.reset(&t.stm.STM, readOnly)
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit(t.slot)
+		}
+		if err == nil {
+			if tx.boxed {
+				t.boxedCommits++
+			}
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+}

@@ -112,30 +112,41 @@ func (tx *STx) reset(stm *StripedSTM, readOnly bool) {
 }
 
 // establish (re)snapshots every touched stripe plus newBits at one common
-// quiescent point. Value-log entries are re-validated only when their
-// stripe's sequence moved since its last snapshot — an unchanged stripe's
-// cells are untouched, so its logged values extend to the new point for
-// free, which keeps a transaction that fans out over many stripes linear
-// in its reads instead of quadratic. Called with no stripe locks held, so
-// unbounded waiting cannot deadlock.
+// quiescent point. The moved bitmap marks touched stripes whose sequence
+// left our snapshot; when it is empty — the dominant case for a wide scan's
+// first touch of each new stripe — the old snapshots extend to the new
+// common point for free and the value log is never walked. When stripes did
+// move, only entries whose stripe bit is set in moved are re-validated (an
+// unchanged stripe's cells are untouched), which keeps a transaction that
+// fans out over many stripes linear in its reads instead of quadratic.
+// Called with no stripe locks held, so unbounded waiting cannot deadlock.
 func (tx *STx) establish(newBits uint64) error {
 	want := tx.touched | newBits
 	for {
 		var cur [stripeCount]int64
+		var moved uint64
 		for m := want; m != 0; m &= m - 1 {
 			s := uint(bits.TrailingZeros64(m))
 			cur[s] = tx.stm.stripes[s].waitQuiescent()
+			if tx.touched&(uint64(1)<<s) != 0 && cur[s] != tx.snaps[s] {
+				moved |= uint64(1) << s
+			}
 		}
 		// Entries only exist in touched stripes, whose snaps are valid.
-		for i := range tx.reads {
-			r := &tx.reads[i]
-			if s := stripeIndex(r.obj); cur[s] == tx.snaps[s] {
-				continue
-			}
-			if !stillValid(r) {
-				return ErrAborted
+		if moved != 0 {
+			for i := range tx.reads {
+				r := &tx.reads[i]
+				if moved&(uint64(1)<<stripeIndex(r.obj)) == 0 {
+					continue
+				}
+				if !stillValid(r) {
+					return ErrAborted
+				}
 			}
 		}
+		// The stability re-check stays even when nothing moved: a committer
+		// spanning two want stripes could land between their first-pass
+		// reads, leaving cur a torn cross-stripe point.
 		stable := true
 		for m := want; m != 0; m &= m - 1 {
 			s := uint(bits.TrailingZeros64(m))
