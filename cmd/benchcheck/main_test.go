@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/latency"
 )
 
 func record(eng, wl string, commits uint64) harness.Result {
@@ -209,5 +210,63 @@ func TestCheckAcceptsSnapshotWithoutBoxedCounters(t *testing.T) {
 		`"stats":{"commits":100,"aborts":3}}]`)
 	if errs := check(raw, []string{"tl2"}); len(errs) != 0 {
 		t.Fatalf("pre-boxed-counter snapshot rejected: %v", errs)
+	}
+}
+
+// latencyRecord is record() plus a consistent latency block: all commits in
+// the 8192ns bucket (bucket 13), so count ties out against Txs.
+func latencyRecord(eng, wl string, commits uint64) harness.Result {
+	r := record(eng, wl, commits)
+	buckets := make([]uint64, 14)
+	buckets[13] = commits
+	r.Latency = &latency.Summary{
+		Count: commits, Buckets: buckets,
+		P50: 16383, P99: 16383, P999: 16383,
+	}
+	return r
+}
+
+// TestCheckLatencyAllOrNone pins the latency-telemetry snapshot gate: every
+// record carries a latency_ns block or none does. The harness attaches the
+// block to everything it produces, so a mix means spliced or hand-edited
+// records; an entirely latency-free snapshot is a tolerated legacy artifact.
+func TestCheckLatencyAllOrNone(t *testing.T) {
+	all := []harness.Result{
+		latencyRecord("tl2", "bank/64", 100), latencyRecord("tl2", "intset/128", 90),
+	}
+	if errs := check(marshal(t, all), []string{"tl2"}); len(errs) != 0 {
+		t.Fatalf("all-latency snapshot rejected: %v", errs)
+	}
+	none := []harness.Result{
+		record("tl2", "bank/64", 100), record("tl2", "intset/128", 90),
+	}
+	if errs := check(marshal(t, none), []string{"tl2"}); len(errs) != 0 {
+		t.Fatalf("legacy latency-free snapshot rejected: %v", errs)
+	}
+	mixed := []harness.Result{
+		latencyRecord("tl2", "bank/64", 100), record("tl2", "intset/128", 90),
+	}
+	errs := check(marshal(t, mixed), []string{"tl2"})
+	if !strings.Contains(errsString(errs), "all or none") {
+		t.Fatalf("mixed latency telemetry not reported: %v", errs)
+	}
+}
+
+// TestCheckRejectsInconsistentLatency: a latency block whose bucket counts
+// do not sum to the record's committed transactions is a stripped or edited
+// record (the harness derives Txs and the histogram from the same probes).
+func TestCheckRejectsInconsistentLatency(t *testing.T) {
+	r := latencyRecord("tl2", "bank/64", 100)
+	r.Latency.Count = 99
+	r.Latency.Buckets[13] = 99
+	errs := check(marshal(t, []harness.Result{r}), []string{"tl2"})
+	if !strings.Contains(errsString(errs), "latency count") {
+		t.Fatalf("latency/txs mismatch not reported: %v", errs)
+	}
+	r = latencyRecord("tl2", "bank/64", 100)
+	r.Latency.P99 = 1 // below the recomputed quantile
+	errs = check(marshal(t, []harness.Result{r}), []string{"tl2"})
+	if !strings.Contains(errsString(errs), "latency") {
+		t.Fatalf("tampered percentile not reported: %v", errs)
 	}
 }

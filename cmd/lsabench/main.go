@@ -9,7 +9,9 @@
 //	lsabench -experiment errors               synchronization-error ablation (§4.3)
 //	lsabench -experiment baselines            LSA-RT vs TL2 vs validating STM (§1.2)
 //	lsabench -experiment bench                cross-engine workload matrix (every registered backend)
-//	lsabench -experiment all                  everything above
+//	lsabench -experiment sweep                scaling curves: bench matrix at worker counts 1,2,4,...,GOMAXPROCS
+//	lsabench -experiment all                  everything above except sweep (which multiplies bench by the
+//	                                          number of worker counts — run it explicitly)
 //
 // The bench experiment iterates the engine registry: every STM backend —
 // LSA under each time base, TL2 (on its counter and on the externally
@@ -22,9 +24,16 @@
 //	lsabench -engine lsa/mmtimer,wordstm      two backends, same scenarios
 //	lsabench -experiment bench -json BENCH_engines.json
 //
-// With -json, bench results are also written as machine-readable records
-// (one per engine × workload) so successive PRs can track the performance
-// trajectory in checked-in BENCH_*.json files.
+// With -json, bench and sweep results are also written as machine-readable
+// records (one per engine × workload) so successive PRs can track the
+// performance trajectory in checked-in BENCH_*.json files. Records carry the
+// commit-latency distribution (p50/p99/p999 over power-of-two nanosecond
+// buckets) next to throughput; sweep records additionally carry the whole
+// scaling curve.
+//
+// Runtime diagnostics apply to any experiment: -cpuprofile/-memprofile/-trace
+// write the standard Go profiles, -http serves expvar (/debug/vars, including
+// the latest bench results under "bench") and pprof while the process runs.
 package main
 
 import (
@@ -32,10 +41,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/harness"
@@ -45,7 +57,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "fig1|fig2|fig2word|fig2sim|tl2opt|errors|baselines|bench|all (default all; bench when -engine is set)")
+		experiment = flag.String("experiment", "", "fig1|fig2|fig2word|fig2sim|tl2opt|errors|baselines|bench|sweep|all (default all; bench when -engine is set)")
 		duration   = flag.Duration("duration", 300*time.Millisecond, "measured interval per point (real-STM experiments)")
 		warmup     = flag.Duration("warmup", 0, "warmup before each measurement (default duration/5)")
 		threads    = flag.String("threads", "", "comma-separated worker counts (default 1,2,4,6,8,12,16)")
@@ -56,9 +68,25 @@ func main() {
 		engines    = flag.String("engine", "", "comma-separated engine names for the bench experiment (default: all registered; see -list-engines)")
 		listEng    = flag.Bool("list-engines", false, "print the registered engine names and exit")
 		workers    = flag.Int("workers", 4, "worker count for the bench experiment")
-		jsonPath   = flag.String("json", "", "also write bench results as JSON records to this file (\"-\" = stdout)")
+		jsonPath   = flag.String("json", "", "also write bench/sweep results as JSON records to this file (\"-\" = stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath  = flag.String("trace", "", "write an execution trace to this file")
+		httpAddr   = flag.String("http", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	stopDiag, err := diag.Start(diag.Flags{
+		CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath, HTTP: *httpAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopDiag(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *listEng {
 		for _, n := range engine.Names() {
@@ -75,14 +103,14 @@ func main() {
 			*experiment = "all"
 		}
 	}
-	// -engine and -json only affect the bench experiment; refuse silently
-	// dropping them when an explicit experiment excludes it.
-	if *experiment != "bench" && *experiment != "all" {
+	// -engine and -json only affect the bench and sweep experiments; refuse
+	// silently dropping them when an explicit experiment excludes them.
+	if *experiment != "bench" && *experiment != "sweep" && *experiment != "all" {
 		if *engines != "" {
-			fatal(fmt.Errorf("-engine only applies to -experiment bench (got -experiment %s)", *experiment))
+			fatal(fmt.Errorf("-engine only applies to -experiment bench or sweep (got -experiment %s)", *experiment))
 		}
 		if *jsonPath != "" {
-			fatal(fmt.Errorf("-json only applies to -experiment bench (got -experiment %s)", *experiment))
+			fatal(fmt.Errorf("-json only applies to -experiment bench or sweep (got -experiment %s)", *experiment))
 		}
 	}
 
@@ -165,10 +193,31 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			publishResults(results)
 			host := harness.CurrentHost()
 			header(fmt.Sprintf("Cross-engine workload matrix (one harness, every registered backend; host: %d CPUs, GOMAXPROCS %d)",
 				host.NumCPU, host.GOMAXPROCS))
 			emit(benchTable(results), *csv)
+			if *jsonPath != "" {
+				if err := writeJSON(*jsonPath, results); err != nil {
+					fatal(err)
+				}
+			}
+		case "sweep":
+			counts := th
+			if len(counts) == 0 {
+				counts = harness.DefaultWorkerCounts(runtime.GOMAXPROCS(0))
+			}
+			results, err := harness.SweepAcross(selectedEngines(*engines), benchWorkloads, counts,
+				engine.Options{}, harness.Options{Duration: *duration, Warmup: *warmup})
+			if err != nil {
+				fatal(err)
+			}
+			publishResults(results)
+			host := harness.CurrentHost()
+			header(fmt.Sprintf("Scaling curves — bench matrix at worker counts %v (host: %d CPUs, GOMAXPROCS %d)",
+				counts, host.NumCPU, host.GOMAXPROCS))
+			emit(sweepTable(results), *csv)
 			if *jsonPath != "" {
 				if err := writeJSON(*jsonPath, results); err != nil {
 					fatal(err)
@@ -222,7 +271,7 @@ func runBench(engines []string, workers int, duration, warmup time.Duration) ([]
 }
 
 func benchTable(results []harness.Result) *stats.Table {
-	t := stats.NewTable("engine", "workload", "workers", "tx/s", "aborts/attempt", "allocs/commit", "B/commit", "boxed%", "batch", "esc%")
+	t := stats.NewTable("engine", "workload", "workers", "tx/s", "p50", "p99", "p999", "aborts/attempt", "abort mix", "allocs/commit", "B/commit", "boxed%", "batch", "esc%")
 	for _, r := range results {
 		// batch = mean commits per combining batch (flat-combining engines);
 		// esc% = share of commits that ran escalated (adaptive engines). "-"
@@ -235,15 +284,54 @@ func benchTable(results []harness.Result) *stats.Table {
 		if r.Stats.EscalatedCommits > 0 && r.Stats.Commits > 0 {
 			esc = fmt.Sprintf("%.1f", 100*float64(r.Stats.EscalatedCommits)/float64(r.Stats.Commits))
 		}
+		p50, p99, p999 := "-", "-", "-"
+		if r.Latency != nil {
+			p50 = time.Duration(r.Latency.P50).String()
+			p99 = time.Duration(r.Latency.P99).String()
+			p999 = time.Duration(r.Latency.P999).String()
+		}
 		t.AddRowf(r.Engine, r.Workload, r.Workers,
 			fmt.Sprintf("%.0f", r.Throughput),
+			p50, p99, p999,
 			fmt.Sprintf("%.4f", r.Stats.AbortRate()),
+			r.Stats.AbortMix(),
 			fmt.Sprintf("%.1f", r.AllocsPerCommit),
 			fmt.Sprintf("%.0f", r.BytesPerCommit),
 			fmt.Sprintf("%.1f", 100*r.Stats.BoxedShare()),
 			batch, esc)
 	}
 	return t
+}
+
+// sweepTable renders scaling curves: one row per worker count of each
+// engine × workload pair.
+func sweepTable(results []harness.Result) *stats.Table {
+	t := stats.NewTable("engine", "workload", "workers", "tx/s", "aborts/attempt", "p50", "p99", "p999")
+	for _, r := range results {
+		for _, p := range r.Scaling {
+			t.AddRowf(r.Engine, r.Workload, p.Workers,
+				fmt.Sprintf("%.0f", p.Throughput),
+				fmt.Sprintf("%.4f", p.AbortRate),
+				time.Duration(p.P50).String(),
+				time.Duration(p.P99).String(),
+				time.Duration(p.P999).String())
+		}
+	}
+	return t
+}
+
+// latestResults backs the expvar "bench" variable: the most recent bench or
+// sweep result set, readable at /debug/vars while -http is serving.
+var latestResults atomic.Pointer[[]harness.Result]
+
+func publishResults(results []harness.Result) {
+	latestResults.Store(&results)
+	diag.Publish("bench", func() any {
+		if p := latestResults.Load(); p != nil {
+			return *p
+		}
+		return nil
+	})
 }
 
 func writeJSON(path string, results []harness.Result) error {

@@ -14,6 +14,10 @@
 // total, plus a writer/checker pair whose two cells must always sum to
 // zero — torn reads, lost updates, and inconsistent snapshots all surface
 // as counted violations.
+//
+// Runtime diagnostics match cmd/lsabench: -cpuprofile/-memprofile/-trace
+// write the standard Go profiles, -http serves expvar and pprof while the
+// stress runs — useful for watching a multi-hour session without stopping it.
 package main
 
 import (
@@ -26,20 +30,32 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		duration = flag.Duration("duration", 5*time.Second, "stress duration per engine")
-		workers  = flag.Int("workers", 8, "concurrent workers")
-		engFlag  = flag.String("engine", "", "comma-separated engines to stress (default: all registered)")
-		tbFlag   = flag.String("timebase", "", "stress the LSA core on this time base instead (counter|tl2counter|mmtimer|ideal|extsync:<dev>)")
-		accounts = flag.Int("accounts", 32, "bank accounts")
-		versions = flag.Int("versions", 0, "LSA object history depth (0 = default)")
+		duration   = flag.Duration("duration", 5*time.Second, "stress duration per engine")
+		workers    = flag.Int("workers", 8, "concurrent workers")
+		engFlag    = flag.String("engine", "", "comma-separated engines to stress (default: all registered)")
+		tbFlag     = flag.String("timebase", "", "stress the LSA core on this time base instead (counter|tl2counter|mmtimer|ideal|extsync:<dev>)")
+		accounts   = flag.Int("accounts", 32, "bank accounts")
+		versions   = flag.Int("versions", 0, "LSA object history depth (0 = default)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath  = flag.String("trace", "", "write an execution trace to this file")
+		httpAddr   = flag.String("http", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	stopDiag, err := diag.Start(diag.Flags{
+		CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath, HTTP: *httpAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	type target struct {
 		name string
@@ -84,6 +100,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stmstress: %s: %v\n", t.name, err)
 			failed = true
 		}
+	}
+	// Explicit rather than deferred: os.Exit on the failure path would skip
+	// a defer, losing the profiles of exactly the runs worth profiling.
+	if err := stopDiag(); err != nil {
+		fmt.Fprintln(os.Stderr, "stmstress:", err)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,108 @@
+// Package diag wires the standard Go runtime diagnostics into the repo's
+// command-line tools: CPU/heap profiles and execution traces behind flags,
+// and an optional debug HTTP endpoint serving expvar and net/http/pprof.
+// Both cmd/lsabench and cmd/stmstress use it, so a slow or allocation-heavy
+// engine can be profiled with the same invocation on either driver.
+package diag
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags carries the diagnostics flag values a command collected.
+type Flags struct {
+	// CPUProfile, MemProfile and Trace are output file paths; empty means
+	// the corresponding collector stays off.
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	// HTTP is a listen address (e.g. "localhost:6060") for the debug
+	// endpoint serving expvar (/debug/vars) and pprof (/debug/pprof/);
+	// empty means no server.
+	HTTP string
+}
+
+// Start begins the requested collectors and returns a stop function that
+// must run before the process exits (it finishes the profiles and writes
+// the heap profile). The debug HTTP server, if any, runs until exit.
+func Start(f Flags) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("diag: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			cleanup()
+			return nil, fmt.Errorf("diag: cpu profile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("diag: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("diag: trace: %w", err)
+		}
+	}
+	if f.HTTP != "" {
+		// expvar and net/http/pprof register on http.DefaultServeMux at
+		// import time; serving the default mux exposes both.
+		go func() {
+			if err := http.ListenAndServe(f.HTTP, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "diag: http endpoint: %v\n", err)
+			}
+		}()
+	}
+	return func() error {
+		cleanup()
+		if f.MemProfile == "" {
+			return nil
+		}
+		mf, err := os.Create(f.MemProfile)
+		if err != nil {
+			return fmt.Errorf("diag: mem profile: %w", err)
+		}
+		defer mf.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("diag: mem profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// Publish registers fn under name on the expvar endpoint (/debug/vars).
+// expvar panics on duplicate registration, so a name that is already taken
+// is left alone — callers register once per process. Safe to call whether
+// or not an HTTP endpoint was requested.
+func Publish(name string, fn func() any) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(fn))
+}

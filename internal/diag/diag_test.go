@@ -1,0 +1,62 @@
+package diag
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesProfiles: the stop function finishes the CPU profile,
+// trace, and heap profile into the requested files.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		MemProfile: filepath.Join(dir, "mem.out"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := Start(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = make([]byte, 1024)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.CPUProfile, f.MemProfile, f.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+// TestStartNoFlags: all-off flags yield a working no-op stop.
+func TestStartNoFlags(t *testing.T) {
+	stop, err := Start(Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartRejectsBadPath: an uncreatable profile path errors up front.
+func TestStartRejectsBadPath(t *testing.T) {
+	if _, err := Start(Flags{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Error("uncreatable cpu-profile path must error")
+	}
+}
+
+// TestPublishIdempotent: re-registering a name neither panics nor errors.
+func TestPublishIdempotent(t *testing.T) {
+	Publish("diag_test_var", func() any { return 1 })
+	Publish("diag_test_var", func() any { return 2 })
+}

@@ -1,5 +1,7 @@
 package engine
 
+import "repro/internal/abort"
+
 // adapterThread is the shared worker context of the counter-set backends
 // (norec, norec/striped, tl2, glock, rstmval): it owns the per-thread retry
 // closure and the bound Run/RunReadOnly/BoxedCommits method values, all
@@ -25,9 +27,19 @@ type adapterThread[T any] struct {
 	run      func(func(T) error) error
 	runRO    func(func(T) error) error
 	boxed    func() uint64
+	// reasons reads the native thread's cumulative per-reason abort counts
+	// (nil for backends that never abort, e.g. glock).
+	reasons func() abort.Counts
 }
 
 func (t *adapterThread[T]) ID() int { return t.id }
+
+// Attempts implements AttemptCounter: cumulative attempts across the
+// thread's life (commits + aborted attempts + user-aborted finals).
+func (t *adapterThread[T]) Attempts() uint64 {
+	c := t.counters
+	return c.commits + c.aborts + c.userAborts
+}
 
 func (t *adapterThread[T]) Run(fn func(Txn) error) error         { return t.do(t.run, fn) }
 func (t *adapterThread[T]) RunReadOnly(fn func(Txn) error) error { return t.do(t.runRO, fn) }
@@ -38,6 +50,9 @@ func (t *adapterThread[T]) do(run func(func(T) error) error, fn func(Txn) error)
 	err := run(t.step)
 	t.counters.record(t.attempts, err)
 	t.counters.boxedCommits = t.boxed()
+	if t.reasons != nil {
+		t.counters.abortReasons = t.reasons()
+	}
 	t.fn, t.attempts = prevFn, prevAttempts
 	return err
 }

@@ -484,3 +484,59 @@ func TestConformanceMixedTypeCell(t *testing.T) {
 		})
 	}
 }
+
+// TestConformanceAbortTaxonomy runs a deliberately contended workload on
+// every registered engine and asserts that each abort landed in exactly one
+// taxonomy bucket: UnclassifiedAborts must be zero, and the attempt counter
+// (AttemptCounter, which the harness's retry-latency histogram relies on)
+// must tie out against commits + aborts + user aborts.
+func TestConformanceAbortTaxonomy(t *testing.T) {
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := engine.MustNew(name, engine.Options{Nodes: confWorkers})
+			// Two hot cells shared by every worker: plenty of conflicts.
+			a, b := eng.NewCell(0), eng.NewCell(0)
+			var attempts atomic.Uint64
+			var wg sync.WaitGroup
+			for id := 0; id < confWorkers; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := eng.Thread(id)
+					for i := 0; i < confIters(t, 400); i++ {
+						err := th.Run(func(tx engine.Txn) error {
+							av, err := engine.Get[int](tx, a)
+							if err != nil {
+								return err
+							}
+							if err := tx.Write(a, av+1); err != nil {
+								return err
+							}
+							return tx.Write(b, -(av + 1))
+						})
+						if err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+					if ac, ok := th.(engine.AttemptCounter); !ok {
+						t.Errorf("thread of %s does not implement engine.AttemptCounter", name)
+					} else {
+						attempts.Add(ac.Attempts())
+					}
+				}(id)
+			}
+			wg.Wait()
+			s := eng.Stats()
+			if s.Commits == 0 {
+				t.Fatalf("engine counted no commits: %+v", s)
+			}
+			if u := s.UnclassifiedAborts(); u != 0 {
+				t.Errorf("%d of %d aborts unclassified (stats %+v)", u, s.Aborts, s)
+			}
+			if got, want := attempts.Load(), s.Commits+s.Aborts+s.UserAborts; got != want {
+				t.Errorf("AttemptCounter total = %d, want commits+aborts+userAborts = %d", got, want)
+			}
+		})
+	}
+}

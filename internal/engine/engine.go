@@ -32,7 +32,10 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+
+	"repro/internal/abort"
 )
 
 // Cell is an opaque handle to one transactional variable. Cells are created
@@ -119,9 +122,16 @@ type Engine interface {
 	Stats() Stats
 }
 
-// Stats aggregates commit/abort counters across an engine's threads. The
-// detail fields mirror the LSA core's counters; engines that cannot
-// attribute aborts leave them zero and fill only Commits and Aborts.
+// Stats aggregates commit/abort counters across an engine's threads.
+//
+// The Abort* fields are the cross-engine abort-reason taxonomy (see
+// internal/abort): every registered backend classifies each abort into
+// exactly one of them — AbortSnapshot, AbortValidation, AbortConflict,
+// AbortExternal, AbortContention, AbortEscalation — so their sum equals
+// Aborts on every engine (asserted by the conformance suite via
+// UnclassifiedAborts). The first four mirror the LSA core's native causes;
+// AbortContention and AbortEscalation come from the value-based engines'
+// bounded lock waits and the adaptive engine's escalated path.
 type Stats struct {
 	// Commits counts successfully committed transactions.
 	Commits uint64 `json:"commits"`
@@ -136,6 +146,12 @@ type Stats struct {
 	AbortConflict uint64 `json:"abort_conflict,omitempty"`
 	// AbortExternal counts aborts inflicted by other threads.
 	AbortExternal uint64 `json:"abort_external,omitempty"`
+	// AbortContention counts aborts from bounded waits on locks, stripes or
+	// combining slots that ran out while another thread held them.
+	AbortContention uint64 `json:"abort_contention,omitempty"`
+	// AbortEscalation counts aborts suffered on an adaptive engine's
+	// escalated (global) protocol path, whatever their site.
+	AbortEscalation uint64 `json:"abort_escalation,omitempty"`
 	// UserAborts counts transactions abandoned by application error.
 	UserAborts uint64 `json:"user_aborts,omitempty"`
 	// Extensions counts validity-range extension attempts.
@@ -168,6 +184,51 @@ func (s Stats) BoxedShare() float64 {
 		return 0
 	}
 	return float64(s.BoxedCommits) / float64(s.Commits)
+}
+
+// ClassifiedAborts returns the sum of the abort-taxonomy buckets.
+func (s Stats) ClassifiedAborts() uint64 {
+	return s.AbortSnapshot + s.AbortValidation + s.AbortConflict +
+		s.AbortExternal + s.AbortContention + s.AbortEscalation
+}
+
+// UnclassifiedAborts returns how many aborts no taxonomy bucket accounts
+// for. Every registered backend classifies all of its aborts, so this is 0
+// on freshly produced stats (the conformance suite asserts it); legacy
+// snapshot records may carry a nonzero value. Classified counts exceeding
+// Aborts (impossible by construction) also report 0 rather than wrapping.
+func (s Stats) UnclassifiedAborts() uint64 {
+	c := s.ClassifiedAborts()
+	if c >= s.Aborts {
+		return 0
+	}
+	return s.Aborts - c
+}
+
+// AbortMix renders the abort-reason composition compactly for tables:
+// percentage shares of Aborts as "snap12+val80+lock8" (reasons with a zero
+// share omitted, "esc" for escalation, "cm"/"ext" for the LSA core's
+// contention-manager and externally-inflicted causes, "unk" for any
+// unclassified remainder). "-" when nothing aborted.
+func (s Stats) AbortMix() string {
+	if s.Aborts == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, 7)
+	add := func(label string, n uint64) {
+		if n == 0 {
+			return
+		}
+		parts = append(parts, fmt.Sprintf("%s%.0f", label, 100*float64(n)/float64(s.Aborts)))
+	}
+	add("snap", s.AbortSnapshot)
+	add("val", s.AbortValidation)
+	add("cm", s.AbortConflict)
+	add("ext", s.AbortExternal)
+	add("lock", s.AbortContention)
+	add("esc", s.AbortEscalation)
+	add("unk", s.UnclassifiedAborts())
+	return strings.Join(parts, "+")
 }
 
 // AbortRate returns aborts per attempt: Aborts / (Commits + Aborts).
@@ -265,6 +326,7 @@ type txnCounters struct {
 	aborts       uint64
 	userAborts   uint64
 	boxedCommits uint64
+	abortReasons abort.Counts
 	_            [32]byte
 }
 
@@ -305,6 +367,21 @@ func (s *counterSet) Stats() Stats {
 		total.Aborts += c.aborts
 		total.UserAborts += c.userAborts
 		total.BoxedCommits += c.boxedCommits
+		total.AbortSnapshot += c.abortReasons[abort.Snapshot]
+		total.AbortValidation += c.abortReasons[abort.Validation]
+		total.AbortContention += c.abortReasons[abort.Contention]
+		total.AbortEscalation += c.abortReasons[abort.Escalation]
 	}
 	return total
+}
+
+// AttemptCounter is the optional per-thread attempt telemetry: a Thread that
+// implements it reports the cumulative number of transaction attempts it has
+// run (commits + aborted attempts + user-aborted finals). The harness uses
+// the per-step deltas to feed the per-attempt retry-latency histogram; every
+// backend in this repository implements it.
+type AttemptCounter interface {
+	// Attempts returns the cumulative attempt count. Single-goroutine, like
+	// the Thread itself.
+	Attempts() uint64
 }

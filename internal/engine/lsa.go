@@ -134,6 +134,12 @@ func newLSAThread(th *core.Thread) *lsaThread {
 
 func (t *lsaThread) ID() int { return t.th.ID() }
 
+// Attempts implements AttemptCounter via the core thread's own counters.
+func (t *lsaThread) Attempts() uint64 {
+	s := t.th.Stats()
+	return s.Commits + s.Aborts + s.UserAborts
+}
+
 // Run saves and restores the fn slot, so a nested transaction on the same
 // Thread (the core runs it as a flat, independent transaction) leaves the
 // outer retry loop's closure intact.

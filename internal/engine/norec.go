@@ -72,6 +72,7 @@ func (e *norecEngine) Thread(id int) Thread {
 	t := &adapterThread[*norec.Tx]{
 		id: id, counters: e.newCounters(),
 		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+		reasons: th.AbortCounts,
 	}
 	t.step = func(tx *norec.Tx) error {
 		t.attempts++
@@ -120,6 +121,7 @@ func (e *norecStripedEngine) Thread(id int) Thread {
 	t := &adapterThread[*norec.STx]{
 		id: id, counters: e.newCounters(),
 		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+		reasons: th.AbortCounts,
 	}
 	t.step = func(tx *norec.STx) error {
 		t.attempts++
@@ -169,6 +171,7 @@ func (e *norecCombinedEngine) Thread(id int) Thread {
 	t := &adapterThread[*norec.CTx]{
 		id: id, counters: e.newCounters(),
 		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+		reasons: th.AbortCounts,
 	}
 	t.step = func(tx *norec.CTx) error {
 		t.attempts++
@@ -225,6 +228,7 @@ func (e *norecAdaptiveEngine) Thread(id int) Thread {
 	t := &adapterThread[*norec.ATx]{
 		id: id, counters: e.newCounters(),
 		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+		reasons: th.AbortCounts,
 	}
 	t.step = func(tx *norec.ATx) error {
 		t.attempts++

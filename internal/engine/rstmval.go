@@ -34,6 +34,7 @@ func (e *rstmEngine) Thread(id int) Thread {
 	t := &adapterThread[*rstmval.Tx]{
 		id: id, counters: e.newCounters(),
 		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+		reasons: th.AbortCounts,
 	}
 	t.step = func(tx *rstmval.Tx) error {
 		t.attempts++

@@ -61,6 +61,7 @@ func (e *tl2Engine) Thread(id int) Thread {
 	t := &adapterThread[*tl2.Tx]{
 		id: id, counters: e.newCounters(),
 		run: th.Run, runRO: th.RunReadOnly, boxed: th.BoxedCommits,
+		reasons: th.AbortCounts,
 	}
 	t.step = func(tx *tl2.Tx) error {
 		t.attempts++

@@ -162,6 +162,13 @@ type wordThread struct {
 
 func (t *wordThread) ID() int { return t.id }
 
+// Attempts implements AttemptCounter: cumulative attempts across the
+// thread's life (commits + aborted attempts + user-aborted finals).
+func (t *wordThread) Attempts() uint64 {
+	c := t.counters
+	return c.commits + c.aborts + c.userAborts
+}
+
 func (t *wordThread) Run(fn func(Txn) error) error         { return t.run(false, fn) }
 func (t *wordThread) RunReadOnly(fn func(Txn) error) error { return t.run(true, fn) }
 
@@ -182,6 +189,7 @@ func (t *wordThread) run(readOnly bool, fn func(Txn) error) error {
 		err = t.th.Run(t.step)
 	}
 	t.counters.record(t.attempts, err)
+	t.counters.abortReasons = t.th.AbortCounts()
 	if err == nil {
 		if t.attemptBoxed {
 			t.counters.boxedCommits++

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/latency"
 )
 
 // Workload is a benchmarkable transaction mix, written against the
@@ -69,12 +70,43 @@ type Result struct {
 	// Stats are the engine counters accumulated over the whole run
 	// (including warmup).
 	Stats engine.Stats `json:"stats"`
+	// Latency is the per-transaction commit-latency distribution inside the
+	// measured interval: the time from one commit to the next on the same
+	// worker, which includes every aborted attempt in between (retries are
+	// part of the latency a caller observes). Its Count equals Txs exactly —
+	// both are the same histogram delta.
+	Latency *latency.Summary `json:"latency_ns,omitempty"`
+	// Retry is the per-attempt latency distribution: each inter-commit gap
+	// divided evenly over the attempts it took (from the thread's
+	// engine.AttemptCounter). Comparing Retry's count to Latency's shows the
+	// retry amplification; comparing their percentiles shows whether retries
+	// are cheap re-runs or expensive stalls.
+	Retry *latency.Summary `json:"retry_ns,omitempty"`
+	// Scaling, when the record came from a worker-count sweep, holds the
+	// whole throughput/latency curve; the top-level fields describe the
+	// highest worker count measured.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
+}
+
+// ScalingPoint is one worker count of a scaling curve.
+type ScalingPoint struct {
+	Workers    int     `json:"workers"`
+	Throughput float64 `json:"tx_per_s"`
+	AbortRate  float64 `json:"aborts_per_attempt"`
+	P50        int64   `json:"p50_ns,omitempty"`
+	P99        int64   `json:"p99_ns,omitempty"`
+	P999       int64   `json:"p999_ns,omitempty"`
 }
 
 // String renders the result on one line.
 func (r Result) String() string {
-	return fmt.Sprintf("%s/%s workers=%d tx/s=%.0f (aborts/attempt=%.3f, allocs/commit=%.1f)",
+	s := fmt.Sprintf("%s/%s workers=%d tx/s=%.0f (aborts/attempt=%.3f, allocs/commit=%.1f)",
 		r.Workload, r.Engine, r.Workers, r.Throughput, r.Stats.AbortRate(), r.AllocsPerCommit)
+	if r.Latency != nil {
+		s += fmt.Sprintf(" p50=%v p99=%v p999=%v",
+			time.Duration(r.Latency.P50), time.Duration(r.Latency.P99), time.Duration(r.Latency.P999))
+	}
+	return s
 }
 
 // Validate reports whether the result is a well-formed record of a run that
@@ -116,15 +148,55 @@ func (r Result) Validate() error {
 	// snapshot that predates the telemetry entirely is therefore a
 	// snapshot-level check (cmd/benchcheck: at least one record must carry
 	// nonzero telemetry). Stats.BoxedCommits (the boxed% column) is
-	// likewise accepted but never required.
+	// likewise accepted but never required. Latency follows the same split:
+	// optional per record (legacy snapshots predate it), but when present it
+	// must be internally consistent, and cmd/benchcheck requires all records
+	// of a snapshot to carry it together.
+	if r.Latency != nil {
+		if err := r.Latency.Validate(); err != nil {
+			return fmt.Errorf("harness: %s/%s: latency: %w", r.Workload, r.Engine, err)
+		}
+		if r.Latency.Count != r.Txs {
+			// Txs and the commit histogram are deltas of the same per-worker
+			// probes over the same boundary snapshots, so they must tie out
+			// exactly; a mismatch means a stripped or hand-edited record.
+			return fmt.Errorf("harness: %s/%s: latency count %d != txs %d",
+				r.Workload, r.Engine, r.Latency.Count, r.Txs)
+		}
+	}
+	if r.Retry != nil {
+		if err := r.Retry.Validate(); err != nil {
+			return fmt.Errorf("harness: %s/%s: retry latency: %w", r.Workload, r.Engine, err)
+		}
+		// No cross-check against Latency: the commit and retry probes are
+		// snapshotted back-to-back while workers keep running, so their
+		// counts may skew by in-flight steps.
+	}
+	prev := 0
+	for _, p := range r.Scaling {
+		if p.Workers <= prev {
+			return fmt.Errorf("harness: %s/%s: scaling curve worker counts not strictly increasing (%d after %d)",
+				r.Workload, r.Engine, p.Workers, prev)
+		}
+		prev = p.Workers
+		if p.Throughput <= 0 {
+			return fmt.Errorf("harness: %s/%s: scaling point workers=%d has non-positive throughput %f",
+				r.Workload, r.Engine, p.Workers, p.Throughput)
+		}
+	}
 	return nil
 }
 
-// padCounter is a per-worker committed-transaction counter on its own cache
-// line, so counting does not perturb the contention under study.
-type padCounter struct {
-	n atomic.Uint64
-	_ [56]byte
+// workerProbe is the per-worker measurement state: the commit- and
+// per-attempt-latency histograms. Each histogram is a cache-line multiple of
+// atomic counters private to its worker (readers only Load), so recording
+// does not perturb the contention under study; the committed-transaction
+// count is the commit histogram's total, so throughput and latency can never
+// disagree. One time.Now per step (tens of nanoseconds, vDSO) is the whole
+// probing cost.
+type workerProbe struct {
+	commit latency.Histogram
+	retry  latency.Histogram
 }
 
 // Run executes the workload and measures steady-state throughput.
@@ -143,7 +215,7 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("harness: init %s on %s: %w", w.Name(), eng.Name(), err)
 	}
 
-	counters := make([]padCounter, opt.Workers)
+	probes := make([]workerProbe, opt.Workers)
 	var stop atomic.Bool
 	var start sync.WaitGroup
 	var done sync.WaitGroup
@@ -155,13 +227,37 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 			defer done.Done()
 			th := eng.Thread(id)
 			step := w.Step(eng, th, id)
+			// Per-attempt latency needs the thread's attempt counter; every
+			// backend in this module implements it, but a fallback (one
+			// attempt per step) keeps external engines measurable.
+			ac, _ := th.(engine.AttemptCounter)
+			p := &probes[id]
+			var lastAttempts uint64
+			if ac != nil {
+				lastAttempts = ac.Attempts()
+			}
 			start.Wait()
+			prev := time.Now()
 			for !stop.Load() {
 				if err := step(); err != nil {
 					errs <- fmt.Errorf("worker %d: %w", id, err)
 					return
 				}
-				counters[id].n.Add(1)
+				now := time.Now()
+				d := now.Sub(prev)
+				prev = now
+				p.commit.Record(d)
+				if ac != nil {
+					a := ac.Attempts()
+					k := a - lastAttempts
+					lastAttempts = a
+					if k == 0 {
+						k = 1 // defensive: a step must have run ≥ 1 attempt
+					}
+					p.retry.RecordN(d/time.Duration(k), k)
+				} else {
+					p.retry.Record(d)
+				}
 			}
 		}(id)
 	}
@@ -177,10 +273,10 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 	// and acceptable at CI's 60 ms smoke interval.
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	before := snapshot(counters)
+	commitBefore, retryBefore := snapshot(probes)
 	t0 := time.Now()
 	time.Sleep(opt.Duration)
-	after := snapshot(counters)
+	commitAfter, retryAfter := snapshot(probes)
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 	stop.Store(true)
@@ -190,7 +286,8 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 		return Result{}, err
 	}
 
-	txs := after - before
+	commitDelta := commitAfter.Sub(commitBefore)
+	txs := commitDelta.Count()
 	r := Result{
 		Workload:   w.Name(),
 		Engine:     eng.Name(),
@@ -199,6 +296,8 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 		Txs:        txs,
 		Throughput: float64(txs) / elapsed.Seconds(),
 		Stats:      eng.Stats(),
+		Latency:    commitDelta.Summary(),
+		Retry:      retryAfter.Sub(retryBefore).Summary(),
 	}
 	if txs > 0 {
 		r.AllocsPerCommit = float64(m1.Mallocs-m0.Mallocs) / float64(txs)
@@ -207,12 +306,15 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 	return r, nil
 }
 
-func snapshot(cs []padCounter) uint64 {
-	var total uint64
-	for i := range cs {
-		total += cs[i].n.Load()
+// snapshot merges the per-worker commit and retry histograms into two value
+// snapshots. Workers keep running while it reads, so the two totals may skew
+// by a few in-flight steps — delta pairs of the same histogram are exact.
+func snapshot(ps []workerProbe) (commit, retry latency.Buckets) {
+	for i := range ps {
+		commit.Accumulate(ps[i].commit.Load())
+		retry.Accumulate(ps[i].retry.Load())
 	}
-	return total
+	return commit, retry
 }
 
 // Sweep runs the workload at each worker count with a fresh engine built
@@ -232,6 +334,74 @@ func Sweep(mkEngine func() (engine.Engine, error), w Workload, workerCounts []in
 			return nil, err
 		}
 		results = append(results, r)
+	}
+	return results, nil
+}
+
+// DefaultWorkerCounts returns the standard scaling-curve worker counts:
+// powers of two from 1 up to max, plus max itself when it is not a power of
+// two — {1, 2, 4, ..., max}. max is usually runtime.GOMAXPROCS(0).
+func DefaultWorkerCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var counts []int
+	for n := 1; n < max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return append(counts, max)
+}
+
+// SweepCurve runs the workload at each worker count (ascending) with a fresh
+// engine per point and folds the points into one Result: the record of the
+// highest count, carrying the whole curve in Scaling. mkEngine receives the
+// point's worker count so per-node state (engine.Options.Nodes) can match.
+func SweepCurve(mkEngine func(workers int) (engine.Engine, error), w Workload, workerCounts []int, opt Options) (Result, error) {
+	if len(workerCounts) == 0 {
+		return Result{}, fmt.Errorf("harness: SweepCurve needs at least one worker count")
+	}
+	curve := make([]ScalingPoint, 0, len(workerCounts))
+	var last Result
+	for _, n := range workerCounts {
+		eng, err := mkEngine(n)
+		if err != nil {
+			return Result{}, err
+		}
+		o := opt
+		o.Workers = n
+		r, err := Run(eng, w, o)
+		if err != nil {
+			return Result{}, err
+		}
+		p := ScalingPoint{Workers: n, Throughput: r.Throughput, AbortRate: r.Stats.AbortRate()}
+		if r.Latency != nil {
+			p.P50, p.P99, p.P999 = r.Latency.P50, r.Latency.P99, r.Latency.P999
+		}
+		curve = append(curve, p)
+		last = r
+	}
+	last.Scaling = curve
+	return last, nil
+}
+
+// SweepAcross runs a scaling curve for each workload on each named backend —
+// the cross-engine Figure 2 outer loop. Each engine/workload pair yields one
+// Result (see SweepCurve); engOpt.Nodes is overridden per point to match the
+// worker count.
+func SweepAcross(engineNames []string, mkWorkloads func() []Workload, workerCounts []int, engOpt engine.Options, opt Options) ([]Result, error) {
+	var results []Result
+	for _, name := range engineNames {
+		for _, w := range mkWorkloads() {
+			r, err := SweepCurve(func(n int) (engine.Engine, error) {
+				o := engOpt
+				o.Nodes = n
+				return engine.New(name, o)
+			}, w, workerCounts, opt)
+			if err != nil {
+				return nil, fmt.Errorf("harness: sweep %s on %s: %w", w.Name(), name, err)
+			}
+			results = append(results, r)
+		}
 	}
 	return results, nil
 }

@@ -190,3 +190,147 @@ func TestValidateDoesNotRequireBoxedCounters(t *testing.T) {
 		t.Errorf("BoxedShare = %v, want 0.4", got)
 	}
 }
+
+// TestRunRecordsLatency: every run carries the commit- and retry-latency
+// histograms, self-consistent with the transaction count.
+func TestRunRecordsLatency(t *testing.T) {
+	eng, _ := mkCounterEng()
+	w := &workload.Disjoint{Accesses: 4}
+	res, err := Run(eng, w, Options{Workers: 2, Duration: 50 * time.Millisecond, Warmup: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency == nil {
+		t.Fatal("no commit-latency summary recorded")
+	}
+	if res.Latency.Count != res.Txs {
+		t.Errorf("latency count %d != txs %d", res.Latency.Count, res.Txs)
+	}
+	if res.Latency.P50 <= 0 || res.Latency.P99 < res.Latency.P50 || res.Latency.P999 < res.Latency.P99 {
+		t.Errorf("percentiles not monotone: p50=%d p99=%d p999=%d",
+			res.Latency.P50, res.Latency.P99, res.Latency.P999)
+	}
+	if res.Retry == nil {
+		t.Fatal("no retry-latency summary recorded")
+	}
+	if res.Retry.Count < res.Latency.Count/2 {
+		// Each committed step records ≥ 1 attempt; halving absorbs the
+		// snapshot skew between the two probes.
+		t.Errorf("retry count %d implausibly low for %d commits", res.Retry.Count, res.Latency.Count)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("latency-carrying run failed validation: %v", err)
+	}
+}
+
+// TestValidateLatencyConsistency: when a record carries a latency block it
+// must be internally consistent; records without one (legacy snapshots)
+// still validate.
+func TestValidateLatencyConsistency(t *testing.T) {
+	eng, _ := mkCounterEng()
+	w := &workload.Disjoint{Accesses: 4}
+	res, err := Run(eng, w, Options{Workers: 1, Duration: 30 * time.Millisecond, Warmup: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := res
+	legacy.Latency, legacy.Retry = nil, nil
+	if err := legacy.Validate(); err != nil {
+		t.Errorf("legacy record without latency rejected: %v", err)
+	}
+	tampered := res
+	sum := *res.Latency
+	sum.Count++
+	tampered.Latency = &sum
+	if err := tampered.Validate(); err == nil {
+		t.Error("latency count != txs must be rejected")
+	}
+	tampered = res
+	sum2 := *res.Latency
+	sum2.P99 = sum2.P50 - 1
+	tampered.Latency = &sum2
+	if err := tampered.Validate(); err == nil {
+		t.Error("tampered percentiles must be rejected")
+	}
+}
+
+// TestValidateScalingCurve: curve points must be strictly increasing in
+// workers with positive throughput.
+func TestValidateScalingCurve(t *testing.T) {
+	r := Result{
+		Workload: "bank/64", Engine: "norec", Workers: 2,
+		Elapsed: 50 * time.Millisecond, Txs: 10, Throughput: 200,
+		Stats: engine.Stats{Commits: 10},
+	}
+	r.Scaling = []ScalingPoint{{Workers: 1, Throughput: 100}, {Workers: 2, Throughput: 200}}
+	if err := r.Validate(); err != nil {
+		t.Errorf("healthy curve rejected: %v", err)
+	}
+	r.Scaling = []ScalingPoint{{Workers: 2, Throughput: 100}, {Workers: 2, Throughput: 200}}
+	if err := r.Validate(); err == nil {
+		t.Error("non-increasing worker counts must be rejected")
+	}
+	r.Scaling = []ScalingPoint{{Workers: 1, Throughput: 100}, {Workers: 2}}
+	if err := r.Validate(); err == nil {
+		t.Error("zero-throughput point must be rejected")
+	}
+}
+
+func TestDefaultWorkerCounts(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+		{0, []int{1}},
+	}
+	for _, c := range cases {
+		got := DefaultWorkerCounts(c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("DefaultWorkerCounts(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("DefaultWorkerCounts(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestSweepCurve folds a two-point sweep into one record carrying the curve.
+func TestSweepCurve(t *testing.T) {
+	w := &workload.Disjoint{Accesses: 2}
+	mk := func(n int) (engine.Engine, error) {
+		return engine.New("lsa/shared", engine.Options{Nodes: n})
+	}
+	r, err := SweepCurve(mk, w, []int{1, 2}, Options{Duration: 30 * time.Millisecond, Warmup: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 2 {
+		t.Errorf("primary record workers = %d, want the highest count 2", r.Workers)
+	}
+	if len(r.Scaling) != 2 || r.Scaling[0].Workers != 1 || r.Scaling[1].Workers != 2 {
+		t.Fatalf("curve = %+v, want points at workers 1 and 2", r.Scaling)
+	}
+	for _, p := range r.Scaling {
+		if p.Throughput <= 0 {
+			t.Errorf("point workers=%d has throughput %f", p.Workers, p.Throughput)
+		}
+		if p.P50 <= 0 || p.P99 < p.P50 {
+			t.Errorf("point workers=%d has bad percentiles %+v", p.Workers, p)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("sweep record failed validation: %v", err)
+	}
+	if _, err := SweepCurve(mk, w, nil, Options{Duration: time.Millisecond}); err == nil {
+		t.Error("empty worker-count list must error")
+	}
+}

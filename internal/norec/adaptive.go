@@ -57,6 +57,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/abort"
 	"repro/internal/val"
 )
 
@@ -215,7 +216,7 @@ func (tx *ATx) grevalidate() error {
 		}
 		for j := range tx.reads {
 			if !stillValid(&tx.reads[j]) {
-				return ErrAborted
+				return errAbortSnapshot
 			}
 		}
 		// The scan only proves consistency at s if no writer entered the
@@ -313,7 +314,7 @@ func (tx *ATx) establish(newBits uint64) error {
 					continue
 				}
 				if !stillValid(r) {
-					return ErrAborted
+					return errAbortSnapshot
 				}
 			}
 		}
@@ -437,7 +438,7 @@ rounds:
 			if inWindow {
 				stm.wfin.Add(1)
 			}
-			return ErrAborted
+			return errAbortContention
 		}
 		for m := foreign; m != 0; m &= m - 1 {
 			s := uint(bits.TrailingZeros64(m))
@@ -454,7 +455,7 @@ rounds:
 				if inWindow {
 					stm.wfin.Add(1)
 				}
-				return ErrAborted
+				return errAbortValidation
 			}
 		}
 		for m := foreign; m != 0; m &= m - 1 {
@@ -492,7 +493,7 @@ func (tx *ATx) commitGlobal() error {
 		if round >= 64 {
 			tx.release(wmask, false)
 			stm.wfin.Add(1)
-			return ErrAborted
+			return errAbortContention
 		}
 		s := stm.wstart.Load()
 		if stm.wfin.Load() != s-1 {
@@ -509,7 +510,7 @@ func (tx *ATx) commitGlobal() error {
 		if !valid {
 			tx.release(wmask, false)
 			stm.wfin.Add(1)
-			return ErrAborted
+			return errAbortValidation
 		}
 		if stm.wstart.Load() == s {
 			break
@@ -530,6 +531,7 @@ type AThread struct {
 	stm          *AdaptiveSTM
 	tx           ATx
 	boxedCommits uint64
+	aborts       abort.Counts
 }
 
 // Thread creates a worker context.
@@ -538,6 +540,11 @@ func (s *AdaptiveSTM) Thread(id int) *AThread { return &AThread{stm: s} }
 // BoxedCommits returns how many of this thread's commits wrote at least one
 // escape-hatch (boxed) payload.
 func (t *AThread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// AbortCounts returns this thread's aborts classified by reason. Every abort
+// of an escalated attempt — whatever its site — is charged to Escalation, so
+// the cost of running (or being forced onto) the global path is one number.
+func (t *AThread) AbortCounts() abort.Counts { return t.aborts }
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *AThread) Run(fn func(*ATx) error) error { return t.run(false, fn) }
@@ -569,6 +576,11 @@ func (t *AThread) run(readOnly bool, fn func(*ATx) error) error {
 		}
 		if !errors.Is(err, ErrAborted) {
 			return err
+		}
+		if tx.escalated {
+			t.aborts[abort.Escalation]++
+		} else {
+			t.aborts.Observe(err)
 		}
 		if attempt > 2 {
 			runtime.Gosched()

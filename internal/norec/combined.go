@@ -35,6 +35,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/abort"
 )
 
 // Slot outcome states. The zero value is idle (no request ever armed); the
@@ -119,7 +121,9 @@ func (tx *CTx) commit(slot *cslot) error {
 			if out == slotCommitted {
 				return nil
 			}
-			return ErrAborted
+			// The combiner's pre-apply validation failed: a commit-time
+			// validation abort, same class as losing the plain CAS race.
+			return errAbortValidation
 		}
 		// Not decided yet: try to become the combiner. A failed CAS means
 		// another combiner holds the lock and will visit our slot if it
@@ -129,7 +133,7 @@ func (tx *CTx) commit(slot *cslot) error {
 			if slot.outcome.Load() == slotCommitted {
 				return nil
 			}
-			return ErrAborted
+			return errAbortValidation
 		}
 		if i > 32 {
 			runtime.Gosched()
@@ -194,6 +198,7 @@ type CThread struct {
 	slot         *cslot
 	tx           CTx
 	boxedCommits uint64
+	aborts       abort.Counts
 }
 
 // Thread creates a worker context (and its combining slot).
@@ -206,6 +211,9 @@ func (s *CombinedSTM) Thread(id int) *CThread {
 // BoxedCommits returns how many of this thread's commits wrote at least one
 // escape-hatch (boxed) payload.
 func (t *CThread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// AbortCounts returns this thread's aborts classified by reason.
+func (t *CThread) AbortCounts() abort.Counts { return t.aborts }
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *CThread) Run(fn func(*CTx) error) error { return t.run(false, fn) }
@@ -230,5 +238,6 @@ func (t *CThread) run(readOnly bool, fn func(*CTx) error) error {
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}
+		t.aborts.Observe(err)
 	}
 }

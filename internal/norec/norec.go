@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/abort"
 	"repro/internal/val"
 )
 
@@ -43,6 +44,23 @@ var ErrAborted = errors.New("norec: transaction aborted")
 
 // ErrReadOnly is returned by Write inside a read-only transaction.
 var ErrReadOnly = errors.New("norec: write inside read-only transaction")
+
+// Reason-tagged abort instances (see internal/abort): one per abort-site
+// class, allocated once so tagging is free on the abort path. All satisfy
+// errors.Is(err, ErrAborted).
+var (
+	// errAbortSnapshot: a read-time revalidation (snapshot extension) failed.
+	errAbortSnapshot = &abort.Err{Sentinel: ErrAborted, Reason: abort.Snapshot,
+		Msg: "norec: transaction aborted: snapshot extension failed"}
+	// errAbortValidation: commit-time revalidation failed while acquiring the
+	// sequence lock.
+	errAbortValidation = &abort.Err{Sentinel: ErrAborted, Reason: abort.Validation,
+		Msg: "norec: transaction aborted: commit-time validation failed"}
+	// errAbortContention: a bounded wait on a stripe seqlock ran out
+	// (striped/adaptive variants).
+	errAbortContention = &abort.Err{Sentinel: ErrAborted, Reason: abort.Contention,
+		Msg: "norec: transaction aborted: stripe contention"}
+)
 
 // STM is a NOrec universe: the global sequence lock shared by all
 // transactions against it.
@@ -257,7 +275,7 @@ func (tx *Tx) revalidate() error {
 		s := tx.stm.waitQuiescent()
 		for i := range tx.reads {
 			if !stillValid(&tx.reads[i]) {
-				return ErrAborted
+				return errAbortSnapshot
 			}
 		}
 		// The log only proves consistency at s if no writer committed while
@@ -302,9 +320,10 @@ func (tx *Tx) commit() error {
 	}
 	for !tx.stm.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		// Another transaction committed (or is committing) since our
-		// snapshot: catch the snapshot up, then try again.
-		if err := tx.revalidate(); err != nil {
-			return err
+		// snapshot: catch the snapshot up, then try again. A failure here is
+		// a commit-time validation abort, not a read-time one.
+		if tx.revalidate() != nil {
+			return errAbortValidation
 		}
 	}
 	// Sequence lock held (odd): write back the buffered values. Numeric
@@ -324,6 +343,7 @@ type Thread struct {
 	stm          *STM
 	tx           Tx
 	boxedCommits uint64
+	aborts       abort.Counts
 }
 
 // Thread creates a worker context.
@@ -332,6 +352,9 @@ func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
 // BoxedCommits returns how many of this thread's commits wrote at least one
 // escape-hatch (boxed) payload.
 func (t *Thread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// AbortCounts returns this thread's aborts classified by reason.
+func (t *Thread) AbortCounts() abort.Counts { return t.aborts }
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
@@ -358,5 +381,6 @@ func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}
+		t.aborts.Observe(err)
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/abort"
 	"repro/internal/val"
 )
 
@@ -140,7 +141,7 @@ func (tx *STx) establish(newBits uint64) error {
 					continue
 				}
 				if !stillValid(r) {
-					return ErrAborted
+					return errAbortSnapshot
 				}
 			}
 		}
@@ -263,7 +264,7 @@ rounds:
 	for round := 0; ; round++ {
 		if round >= 64 {
 			tx.release(wmask, false)
-			return ErrAborted
+			return errAbortContention
 		}
 		for m := foreign; m != 0; m &= m - 1 {
 			s := uint(bits.TrailingZeros64(m))
@@ -277,7 +278,7 @@ rounds:
 		for i := range tx.reads {
 			if !stillValid(&tx.reads[i]) {
 				tx.release(wmask, false)
-				return ErrAborted
+				return errAbortValidation
 			}
 		}
 		for m := foreign; m != 0; m &= m - 1 {
@@ -318,6 +319,7 @@ type SThread struct {
 	stm          *StripedSTM
 	tx           STx
 	boxedCommits uint64
+	aborts       abort.Counts
 }
 
 // Thread creates a worker context.
@@ -326,6 +328,9 @@ func (s *StripedSTM) Thread(id int) *SThread { return &SThread{stm: s} }
 // BoxedCommits returns how many of this thread's commits wrote at least one
 // escape-hatch (boxed) payload.
 func (t *SThread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// AbortCounts returns this thread's aborts classified by reason.
+func (t *SThread) AbortCounts() abort.Counts { return t.aborts }
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *SThread) Run(fn func(*STx) error) error { return t.run(false, fn) }
@@ -350,6 +355,7 @@ func (t *SThread) run(readOnly bool, fn func(*STx) error) error {
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}
+		t.aborts.Observe(err)
 		if attempt > 2 {
 			runtime.Gosched()
 		}

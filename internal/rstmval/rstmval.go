@@ -23,6 +23,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"repro/internal/abort"
 	"repro/internal/val"
 )
 
@@ -31,6 +32,23 @@ var ErrAborted = errors.New("rstmval: transaction aborted")
 
 // ErrReadOnly is returned by Write inside a read-only transaction.
 var ErrReadOnly = errors.New("rstmval: write inside read-only transaction")
+
+// Reason-tagged abort instances (see internal/abort): one per abort-site
+// class, allocated once. All satisfy errors.Is(err, ErrAborted).
+var (
+	// errAbortSnapshot: a read-time revalidation failed or the version word
+	// moved under the value load — the snapshot cannot be kept consistent.
+	errAbortSnapshot = &abort.Err{Sentinel: ErrAborted, Reason: abort.Snapshot,
+		Msg: "rstmval: transaction aborted: read-time revalidation failed"}
+	// errAbortValidation: the commit-time (or write-free final) validation
+	// failed.
+	errAbortValidation = &abort.Err{Sentinel: ErrAborted, Reason: abort.Validation,
+		Msg: "rstmval: transaction aborted: commit-time validation failed"}
+	// errAbortContention: a versioned lock was held (or won) by a concurrent
+	// committer.
+	errAbortContention = &abort.Err{Sentinel: ErrAborted, Reason: abort.Contention,
+		Msg: "rstmval: transaction aborted: versioned lock held by another commit"}
+)
 
 // STM is a validating-STM universe with its global commit counter.
 type STM struct {
@@ -160,17 +178,17 @@ func (tx *Tx) ReadValue(o *Object) (val.Value, error) {
 	// validation while it is unchanged.
 	if cc := tx.stm.cc.Load(); cc != tx.lastCC {
 		if !tx.validate() {
-			return val.Value{}, ErrAborted
+			return val.Value{}, errAbortSnapshot
 		}
 		tx.lastCC = cc
 	}
 	m1 := o.meta.Load()
 	if locked(m1) {
-		return val.Value{}, ErrAborted
+		return val.Value{}, errAbortContention
 	}
 	num, box := o.cell.Snapshot()
 	if o.meta.Load() != m1 {
-		return val.Value{}, ErrAborted
+		return val.Value{}, errAbortSnapshot
 	}
 	tx.reads = append(tx.reads, readEntry{obj: o, meta: m1})
 	return val.Decode(num, box), nil
@@ -219,7 +237,7 @@ func (tx *Tx) commit() error {
 		// Read-only (or write-free) transactions validated incrementally;
 		// one final check makes the snapshot current at commit.
 		if !tx.validate() {
-			return ErrAborted
+			return errAbortValidation
 		}
 		return nil
 	}
@@ -229,7 +247,7 @@ func (tx *Tx) commit() error {
 		m := o.meta.Load()
 		if locked(m) || !o.meta.CompareAndSwap(m, m|1) {
 			tx.unlock(lockedUpTo)
-			return ErrAborted
+			return errAbortContention
 		}
 		lockedUpTo = i
 	}
@@ -238,7 +256,7 @@ func (tx *Tx) commit() error {
 	tx.stm.cc.Add(1)
 	if !tx.validate() {
 		tx.unlock(lockedUpTo)
-		return ErrAborted
+		return errAbortValidation
 	}
 	for i := range tx.writes {
 		w := &tx.writes[i]
@@ -262,6 +280,7 @@ type Thread struct {
 	stm          *STM
 	tx           Tx
 	boxedCommits uint64
+	aborts       abort.Counts
 }
 
 // Thread creates a worker context.
@@ -270,6 +289,9 @@ func (s *STM) Thread(id int) *Thread { return &Thread{stm: s} }
 // BoxedCommits returns how many of this thread's commits wrote at least one
 // escape-hatch (boxed) payload.
 func (t *Thread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// AbortCounts returns this thread's aborts classified by reason.
+func (t *Thread) AbortCounts() abort.Counts { return t.aborts }
 
 // Run executes fn transactionally, retrying on aborts.
 func (t *Thread) Run(fn func(*Tx) error) error { return t.run(false, fn) }
@@ -294,5 +316,6 @@ func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}
+		t.aborts.Observe(err)
 	}
 }

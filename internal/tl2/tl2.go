@@ -26,6 +26,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"repro/internal/abort"
 	"repro/internal/timebase"
 	"repro/internal/val"
 )
@@ -35,6 +36,24 @@ var ErrAborted = errors.New("tl2: transaction aborted")
 
 // ErrReadOnly is returned by Write inside a read-only transaction.
 var ErrReadOnly = errors.New("tl2: write inside read-only transaction")
+
+// Reason-tagged abort instances (see internal/abort): one per abort-site
+// class, allocated once. All satisfy errors.Is(err, ErrAborted).
+var (
+	// errAbortSnapshot: a read found a version newer than rv (or the version
+	// word moved under the value load) — TL2's "arrived too late" abort,
+	// which LSA would serve from an older version.
+	errAbortSnapshot = &abort.Err{Sentinel: ErrAborted, Reason: abort.Snapshot,
+		Msg: "tl2: transaction aborted: read version newer than start time"}
+	// errAbortValidation: a version check failed at commit time (phase 1
+	// write-set freshness or phase 3 read-set validation).
+	errAbortValidation = &abort.Err{Sentinel: ErrAborted, Reason: abort.Validation,
+		Msg: "tl2: transaction aborted: commit-time validation failed"}
+	// errAbortContention: a lock word was (or became) held by a concurrent
+	// committer — read-time locked orecs and phase-1 lock races.
+	errAbortContention = &abort.Err{Sentinel: ErrAborted, Reason: abort.Contention,
+		Msg: "tl2: transaction aborted: versioned lock held by another commit"}
+)
 
 // STM is a TL2 universe: a version clock shared by all objects created
 // against it.
@@ -214,11 +233,11 @@ func (tx *Tx) ReadValue(o *Object) (val.Value, error) {
 	}
 	m1 := o.meta.Load()
 	if m1.locked {
-		return val.Value{}, ErrAborted
+		return val.Value{}, errAbortContention
 	}
 	num, box := o.cell.Snapshot()
 	if o.meta.Load() != m1 || !tx.rv.LaterEq(m1.ver) {
-		return val.Value{}, ErrAborted
+		return val.Value{}, errAbortSnapshot
 	}
 	if !tx.readOnly {
 		tx.reads = append(tx.reads, readEntry{obj: o})
@@ -273,13 +292,20 @@ func (tx *Tx) commit(clock timebase.Clock) error {
 	for i := range tx.writes {
 		o := tx.writes[i].obj
 		m := o.meta.Load()
-		if m.locked || !tx.rv.LaterEq(m.ver) {
+		if m.locked {
 			tx.unlock(lockedUpTo)
-			return ErrAborted
+			return errAbortContention
+		}
+		if !tx.rv.LaterEq(m.ver) {
+			// A write-set object was committed past rv: the read of it (or the
+			// blind write's implicit freshness requirement) no longer holds.
+			tx.unlock(lockedUpTo)
+			return errAbortValidation
 		}
 		if !o.meta.CompareAndSwap(m, locked) {
+			// Lost the lock race to a concurrent committer.
 			tx.unlock(lockedUpTo)
-			return ErrAborted
+			return errAbortContention
 		}
 		tx.writes[i].prev = m
 		lockedUpTo = i
@@ -297,7 +323,7 @@ func (tx *Tx) commit(clock timebase.Clock) error {
 			m := r.obj.meta.Load()
 			if m.locked || !tx.rv.LaterEq(m.ver) {
 				tx.unlock(lockedUpTo)
-				return ErrAborted
+				return errAbortValidation
 			}
 		}
 	}
@@ -331,11 +357,15 @@ type Thread struct {
 	clock        timebase.Clock
 	tx           Tx
 	boxedCommits uint64
+	aborts       abort.Counts
 }
 
 // BoxedCommits returns how many of this thread's commits wrote at least one
 // escape-hatch (boxed) payload.
 func (t *Thread) BoxedCommits() uint64 { return t.boxedCommits }
+
+// AbortCounts returns this thread's aborts classified by reason.
+func (t *Thread) AbortCounts() abort.Counts { return t.aborts }
 
 // Thread creates a worker context. id selects the worker's clock for
 // per-node time bases.
@@ -369,6 +399,7 @@ func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}
+		t.aborts.Observe(err)
 		// TL2 aborts whenever a version is possibly newer than rv; on time
 		// bases with a stale local view (timebase.ShardedCounter) that can
 		// simply mean this thread's shard is behind. Reconcile so the next

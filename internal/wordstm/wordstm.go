@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/abort"
 	"repro/internal/timebase"
 )
 
@@ -44,6 +45,22 @@ var ErrReadOnly = errors.New("wordstm: store inside read-only transaction")
 
 // ErrOutOfRange is returned for addresses outside the allocated memory.
 var ErrOutOfRange = errors.New("wordstm: address out of range")
+
+// Reason-tagged abort instances (see internal/abort): one per abort-site
+// class, allocated once. All satisfy errors.Is(err, ErrAborted).
+var (
+	// errAbortSnapshot: a validity-range extension failed, or a stripe
+	// version stayed beyond the extended upper bound.
+	errAbortSnapshot = &abort.Err{Sentinel: ErrAborted, Reason: abort.Snapshot,
+		Msg: "wordstm: transaction aborted: validity-range extension failed"}
+	// errAbortValidation: the commit-time revalidation failed.
+	errAbortValidation = &abort.Err{Sentinel: ErrAborted, Reason: abort.Validation,
+		Msg: "wordstm: transaction aborted: commit-time validation failed"}
+	// errAbortContention: a bounded wait on a foreign stripe lock ran out
+	// (read spin or the store-time suicide policy).
+	errAbortContention = &abort.Err{Sentinel: ErrAborted, Reason: abort.Contention,
+		Msg: "wordstm: transaction aborted: stripe lock held by another writer"}
+)
 
 // Addr is a word address in the STM's memory.
 type Addr uint32
@@ -103,9 +120,13 @@ func (s *STM) SetInitial(a Addr, v int64) error {
 
 // Thread creates a worker context bound to the time base's clock for id.
 type Thread struct {
-	stm   *STM
-	clock timebase.Clock
+	stm    *STM
+	clock  timebase.Clock
+	aborts abort.Counts
 }
+
+// AbortCounts returns this thread's aborts classified by reason.
+func (t *Thread) AbortCounts() abort.Counts { return t.aborts }
 
 // Thread creates a worker context. Not safe for concurrent use.
 func (s *STM) Thread(id int) *Thread {
@@ -156,7 +177,7 @@ func (tx *Tx) Load(a Addr) (int64, error) {
 			// mid-commit (likely on few cores): yield briefly so it can
 			// finish rather than throwing away the whole snapshot.
 			if n > 32 {
-				return 0, ErrAborted
+				return 0, errAbortContention
 			}
 			backoff(n)
 			continue
@@ -170,10 +191,10 @@ func (tx *Tx) Load(a Addr) (int64, error) {
 			// The version is newer than the snapshot: try to extend
 			// (Algorithm 3, Extend) and re-check.
 			if !tx.extend() {
-				return 0, ErrAborted
+				return 0, errAbortSnapshot
 			}
 			if ver > tx.upper {
-				return 0, ErrAborted
+				return 0, errAbortSnapshot
 			}
 		}
 		if ver > tx.lower {
@@ -206,7 +227,7 @@ func (tx *Tx) Store(a Addr, v int64) error {
 				// arbitration simple; the object engine has the pluggable
 				// managers).
 				if n > 8 {
-					return ErrAborted
+					return errAbortContention
 				}
 				backoff(n)
 				continue
@@ -214,7 +235,7 @@ func (tx *Tx) Store(a Addr, v int64) error {
 			ver := l >> 1
 			if ver > tx.upper {
 				if !tx.extend() || ver > tx.upper {
-					return ErrAborted
+					return errAbortSnapshot
 				}
 			}
 			if tx.stm.locks[st].CompareAndSwap(l, l|lockBit) {
@@ -285,7 +306,7 @@ func (tx *Tx) commit() error {
 	if wv > tx.upper+1 {
 		if !tx.validate() {
 			tx.releaseLocks(0)
-			return ErrAborted
+			return errAbortValidation
 		}
 	}
 	for i := range tx.writes {
@@ -337,6 +358,7 @@ func (t *Thread) run(readOnly bool, fn func(*Tx) error) error {
 		if !errors.Is(err, ErrAborted) {
 			return err
 		}
+		t.aborts.Observe(err)
 		if attempt > 2 {
 			backoff(attempt)
 		}
