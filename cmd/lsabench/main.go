@@ -66,7 +66,7 @@ func main() {
 		simNs      = flag.Int64("sim-ns", 50_000_000, "simulated horizon per fig2sim point, ns")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		engines    = flag.String("engine", "", "comma-separated engine names for the bench experiment (default: all registered; see -list-engines)")
-		listEng    = flag.Bool("list-engines", false, "print the registered engine names and exit")
+		listEng    = flag.Bool("list-engines", false, "print the registered engines with their capabilities and exit")
 		workers    = flag.Int("workers", 4, "worker count for the bench experiment")
 		jsonPath   = flag.String("json", "", "also write bench/sweep results as JSON records to this file (\"-\" = stdout)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -74,6 +74,8 @@ func main() {
 		tracePath  = flag.String("trace", "", "write an execution trace to this file")
 		httpAddr   = flag.String("http", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
+	var opt engine.Options
+	opt.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	stopDiag, err := diag.Start(diag.Flags{
@@ -89,9 +91,18 @@ func main() {
 	}()
 
 	if *listEng {
-		for _, n := range engine.Names() {
-			fmt.Println(n)
+		// The registry's introspection API replaces the ad-hoc per-engine
+		// type assertions this listing used to need.
+		t := stats.NewTable("engine", "int-lane", "attempts", "multi-version", "tunables", "summary")
+		for _, info := range engine.Infos() {
+			t.AddRowf(info.Name,
+				yn(info.Capabilities.IntLane),
+				yn(info.Capabilities.AttemptCounter),
+				yn(info.Capabilities.MultiVersion),
+				strings.Join(info.Capabilities.Tunables, ","),
+				info.Summary)
 		}
+		emit(t, *csv)
 		return
 	}
 
@@ -189,7 +200,7 @@ func main() {
 			header("§1.2 — read-only scans under disjoint updates: LSA-RT vs baselines")
 			emit(res.Table, *csv)
 		case "bench":
-			results, err := runBench(selectedEngines(*engines), *workers, *duration, *warmup)
+			results, err := runBench(selectedEngines(*engines), opt, *workers, *duration, *warmup)
 			if err != nil {
 				fatal(err)
 			}
@@ -209,7 +220,7 @@ func main() {
 				counts = harness.DefaultWorkerCounts(runtime.GOMAXPROCS(0))
 			}
 			results, err := harness.SweepAcross(selectedEngines(*engines), benchWorkloads, counts,
-				engine.Options{}, harness.Options{Duration: *duration, Warmup: *warmup})
+				opt, harness.Options{Duration: *duration, Warmup: *warmup})
 			if err != nil {
 				fatal(err)
 			}
@@ -264,10 +275,20 @@ func selectedEngines(spec string) []string {
 	return out
 }
 
-func runBench(engines []string, workers int, duration, warmup time.Duration) ([]harness.Result, error) {
+func runBench(engines []string, opt engine.Options, workers int, duration, warmup time.Duration) ([]harness.Result, error) {
+	if opt.Nodes == 0 {
+		opt.Nodes = workers // the flag's 0 default means "match the worker count"
+	}
 	return harness.RunAcross(engines, benchWorkloads,
-		engine.Options{Nodes: workers},
+		opt,
 		harness.Options{Workers: workers, Duration: duration, Warmup: warmup})
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "-"
 }
 
 func benchTable(results []harness.Result) *stats.Table {

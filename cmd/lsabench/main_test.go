@@ -49,7 +49,7 @@ func TestSelectedEngines(t *testing.T) {
 }
 
 func TestRunBenchOneEngineAndJSON(t *testing.T) {
-	results, err := runBench([]string{"tl2"}, 2, 20*time.Millisecond, 5*time.Millisecond)
+	results, err := runBench([]string{"tl2"}, engine.Options{}, 2, 20*time.Millisecond, 5*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

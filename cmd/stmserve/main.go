@@ -1,0 +1,157 @@
+// Command stmserve serves transactional operations over any registered STM
+// engine — the wire-facing face of the engine family (internal/stmserve).
+// It is deliberately a thin shell: flags, listeners and signal handling
+// live here; every transactional semantic lives in the service layer, which
+// is tested without sockets.
+//
+//	stmserve -engine norec                          line protocol on :7070
+//	stmserve -engine lsa/shared -conn-mode pool     bounded worker pool instead of thread-per-conn
+//	stmserve -engine tl2 -http-api localhost:8080   plus the HTTP/JSON API (/op, /engines, /stats)
+//	stmserve -engine norec/adaptive -stripes 16     engine tunables via the shared Options flags
+//
+// The two -conn-mode values are the experiment cmd/stmload exists to run:
+// "thread" gives every connection its own engine thread (state grows with
+// connections, no queueing), "pool" multiplexes all connections over
+// -pool-workers long-lived threads (fixed state, queueing under load).
+// SIGINT/SIGTERM shut down gracefully and print the per-op latency table
+// and the engine's abort taxonomy.
+//
+// Runtime diagnostics match the other cmds: -cpuprofile/-memprofile/-trace
+// write the standard Go profiles, -http serves expvar and pprof.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/stmserve"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7070", "line-protocol listen address")
+		httpAPI     = flag.String("http-api", "", "also serve the HTTP/JSON API on this address (POST /op, GET /engines, /stats, /healthz)")
+		engName     = flag.String("engine", "norec", "engine backend (see lsabench -list-engines)")
+		keys        = flag.Int("keys", 1024, "keyspace size")
+		initial     = flag.Int64("initial", 1000, "initial balance per key")
+		connMode    = flag.String("conn-mode", stmserve.ModeThread, "connection-to-engine-thread mapping: thread|pool")
+		poolWorkers = flag.Int("pool-workers", runtime.GOMAXPROCS(0), "engine threads in pool mode")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath   = flag.String("trace", "", "write an execution trace to this file")
+		httpAddr    = flag.String("http", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	)
+	var opt engine.Options
+	opt.BindFlags(flag.CommandLine)
+	flag.Parse()
+	if opt.Nodes == 0 {
+		// Engine threads are created per connection (thread mode) or per
+		// pool worker; size the per-node time bases for the pool upper
+		// bound and let larger ids share clocks modulo Nodes.
+		opt.Nodes = *poolWorkers
+	}
+
+	stopDiag, err := diag.Start(diag.Flags{
+		CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath, HTTP: *httpAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	eng, err := engine.New(*engName, opt)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := stmserve.New(eng, stmserve.Config{
+		Keys: *keys, Initial: *initial, Mode: *connMode, PoolWorkers: *poolWorkers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	diag.Publish("stmserve", func() any { return svc.Stats() })
+
+	srv := stmserve.NewServer(svc)
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stmserve: engine=%s keys=%d mode=%s listening on %s\n",
+		eng.Name(), *keys, svc.Mode(), l.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	var httpSrv *http.Server
+	if *httpAPI != "" {
+		httpSrv = &http.Server{Addr: *httpAPI, Handler: stmserve.NewHTTPHandler(svc)}
+		fmt.Printf("stmserve: HTTP/JSON API on %s\n", *httpAPI)
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "stmserve: http api:", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("stmserve: %v, shutting down\n", s)
+	case err := <-serveErr:
+		if err != nil && err != stmserve.ErrServerClosed {
+			fatal(err)
+		}
+	}
+	srv.Shutdown()
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	svc.Close()
+
+	report(svc.Stats())
+	if err := stopDiag(); err != nil {
+		fatal(err)
+	}
+}
+
+// report prints the shutdown summary: per-op service-side latency and the
+// engine's abort taxonomy (exact now that the service is quiesced).
+func report(st stmserve.Stats) {
+	if st.Ops == 0 && st.Errs == 0 {
+		fmt.Println("stmserve: no operations served")
+		return
+	}
+	t := stats.NewTable("op", "ops", "errs", "p50", "p99", "p999")
+	for _, op := range st.PerOp {
+		p50, p99, p999 := "-", "-", "-"
+		if s := op.Latency; s != nil {
+			p50 = time.Duration(s.P50).String()
+			p99 = time.Duration(s.P99).String()
+			p999 = time.Duration(s.P999).String()
+		}
+		t.AddRowf(op.Op, op.Ops, op.Errs, p50, p99, p999)
+	}
+	fmt.Printf("\nstmserve: %d ops (%d errs), engine %s, mode %s\n%s",
+		st.Ops, st.Errs, st.Engine, st.Mode, t.String())
+	es := st.EngineStats
+	fmt.Printf("engine: commits=%d aborts=%d (rate=%.4f) mix=%s\n",
+		es.Commits, es.Aborts, es.AbortRate(), es.AbortMix())
+	if data, err := json.Marshal(st); err == nil {
+		fmt.Printf("stats: %s\n", data)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stmserve:", err)
+	os.Exit(1)
+}

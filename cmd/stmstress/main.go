@@ -42,13 +42,17 @@ func main() {
 		engFlag    = flag.String("engine", "", "comma-separated engines to stress (default: all registered)")
 		tbFlag     = flag.String("timebase", "", "stress the LSA core on this time base instead (counter|tl2counter|mmtimer|ideal|extsync:<dev>)")
 		accounts   = flag.Int("accounts", 32, "bank accounts")
-		versions   = flag.Int("versions", 0, "LSA object history depth (0 = default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		tracePath  = flag.String("trace", "", "write an execution trace to this file")
 		httpAddr   = flag.String("http", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
+	var opt engine.Options
+	opt.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if opt.Nodes == 0 {
+		opt.Nodes = *workers // the flag's 0 default means "match the worker count"
+	}
 
 	stopDiag, err := diag.Start(diag.Flags{
 		CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath, HTTP: *httpAddr,
@@ -70,7 +74,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rt, err := core.NewRuntime(core.Config{TimeBase: tb, MaxVersions: *versions})
+		rt, err := core.NewRuntime(core.Config{TimeBase: tb, MaxVersions: opt.MaxVersions})
 		if err != nil {
 			fatal(err)
 		}
@@ -86,7 +90,7 @@ func main() {
 			}
 		}
 		for _, n := range names {
-			eng, err := engine.New(n, engine.Options{Nodes: *workers, MaxVersions: *versions})
+			eng, err := engine.New(n, opt)
 			if err != nil {
 				fatal(err)
 			}

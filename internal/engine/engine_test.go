@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"flag"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -48,7 +50,7 @@ func TestRegisteredEngineCount(t *testing.T) {
 func TestRegisterDuplicatePanics(t *testing.T) {
 	const name = "test/dup-probe"
 	factory := func(Options) (Engine, error) { return nil, nil }
-	Register(name, factory)
+	Register(name, Info{}, factory)
 	defer func() {
 		// Remove the probe so registry-iterating tests never see it.
 		registryMu.Lock()
@@ -63,7 +65,152 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 			t.Errorf("panic message must name the duplicate backend, got %v", r)
 		}
 	}()
-	Register(name, factory)
+	Register(name, Info{}, factory)
+}
+
+// TestDescribe: every registered backend carries a registration-time Info
+// whose Name matches its registry key, with a nonempty summary and tunables
+// drawn from the BindFlags flag vocabulary.
+func TestDescribe(t *testing.T) {
+	knownTunables := map[string]bool{
+		"nodes": true, "max-versions": true, "deviation": true,
+		"shard-window": true, "words": true, "cm": true, "stripes": true,
+		"escalate-stripes": true, "escalate-aborts": true,
+	}
+	for _, name := range Names() {
+		info, ok := Describe(name)
+		if !ok {
+			t.Fatalf("Describe(%q) not found", name)
+		}
+		if info.Name != name {
+			t.Errorf("Describe(%q).Name = %q", name, info.Name)
+		}
+		if info.Summary == "" {
+			t.Errorf("Describe(%q): empty summary", name)
+		}
+		for _, tn := range info.Capabilities.Tunables {
+			if !knownTunables[tn] {
+				t.Errorf("Describe(%q): tunable %q is not a BindFlags flag name", name, tn)
+			}
+		}
+	}
+	if _, ok := Describe("no-such-stm"); ok {
+		t.Error("Describe of an unknown backend must report !ok")
+	}
+	infos := Infos()
+	if len(infos) != len(Names()) {
+		t.Fatalf("Infos() returned %d entries, registry has %d", len(infos), len(Names()))
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i-1].Name >= infos[i].Name {
+			t.Errorf("Infos() not sorted: %q before %q", infos[i-1].Name, infos[i].Name)
+		}
+	}
+}
+
+// TestCapabilityClaims cross-checks every backend's declared capabilities
+// against what its threads and transactions actually implement — the
+// conformance gate that keeps Describe's answers truthful, so callers like
+// stmserve's /engines endpoint never need ad-hoc type assertions.
+func TestCapabilityClaims(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			info, ok := Describe(name)
+			if !ok {
+				t.Fatalf("no Info for %q", name)
+			}
+			eng := MustNew(name, Options{Nodes: 1})
+			th := eng.Thread(0)
+			if _, has := th.(AttemptCounter); has != info.Capabilities.AttemptCounter {
+				t.Errorf("AttemptCounter claim %v, implementation says %v",
+					info.Capabilities.AttemptCounter, has)
+			}
+			c := eng.NewCell(1)
+			if err := th.Run(func(tx Txn) error {
+				if _, has := tx.(IntTxn); has != info.Capabilities.IntLane {
+					t.Errorf("IntLane claim %v, transaction says %v", info.Capabilities.IntLane, has)
+				}
+				return Set(tx, c, 2)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOptionsValidate: engine.New must reject option values no backend can
+// honor with an error naming the offending field, instead of panicking or
+// silently clamping inside a backend.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want string // substring the error must contain
+	}{
+		{"negative nodes", Options{Nodes: -1}, "Nodes"},
+		{"negative max versions", Options{MaxVersions: -2}, "MaxVersions"},
+		{"negative deviation", Options{Deviation: -5}, "Deviation"},
+		{"negative shard window", Options{ShardWindow: -1}, "ShardWindow"},
+		{"shard window one", Options{ShardWindow: 1}, "ShardWindow"},
+		{"negative words", Options{Words: -3}, "Words"},
+		{"unknown cm", Options{ContentionManager: "bogus"}, "contention manager"},
+		{"stripes not a power of two", Options{Stripes: 7}, "Stripes"},
+		{"stripes too wide", Options{Stripes: 128}, "Stripes"},
+		{"negative stripes", Options{Stripes: -8}, "Stripes"},
+		{"negative escalate stripes", Options{EscalateStripes: -1}, "EscalateStripes"},
+		{"negative escalate aborts", Options{EscalateAborts: -1}, "EscalateAborts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.opt.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want error mentioning %q", err, tc.want)
+			}
+			// The rejection must hold through New on every backend, relevant
+			// tunable or not — a bad value is a caller bug either way.
+			for _, eng := range []string{"norec", "lsa/shared"} {
+				if _, err := New(eng, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+					t.Errorf("New(%q) = %v, want error mentioning %q", eng, err, tc.want)
+				}
+			}
+		})
+	}
+	good := []Options{
+		{}, {Nodes: 4}, {MaxVersions: 1}, {ShardWindow: 2}, {Stripes: 16},
+		{ContentionManager: "karma"}, {EscalateStripes: 1, EscalateAborts: 1},
+	}
+	for _, opt := range good {
+		if err := opt.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", opt, err)
+		}
+	}
+}
+
+// TestBindFlags: the shared flag surface parses into the Options fields
+// under the documented names, so every cmd driver exposes identical backend
+// tunables.
+func TestBindFlags(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.BindFlags(fs)
+	args := []string{
+		"-nodes", "4", "-max-versions", "2", "-deviation", "500",
+		"-shard-window", "64", "-words", "1024", "-cm", "karma",
+		"-stripes", "8", "-escalate-stripes", "2", "-escalate-aborts", "5",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	want := Options{
+		Nodes: 4, MaxVersions: 2, Deviation: 500, ShardWindow: 64,
+		Words: 1024, ContentionManager: "karma", Stripes: 8,
+		EscalateStripes: 2, EscalateAborts: 5,
+	}
+	if !reflect.DeepEqual(o, want) {
+		t.Errorf("parsed options %+v, want %+v", o, want)
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("parsed options must validate: %v", err)
+	}
 }
 
 func TestNewUnknownBackend(t *testing.T) {

@@ -13,7 +13,13 @@ import (
 // low-thread-count end of every comparison: an STM only earns its keep where
 // its curve crosses above this one.
 func init() {
-	Register("glock", func(o Options) (Engine, error) {
+	Register("glock", Info{
+		Summary: "coarse global RWMutex reference engine (no aborts, honesty baseline)",
+		Capabilities: Capabilities{
+			IntLane:        true,
+			AttemptCounter: true,
+		},
+	}, func(o Options) (Engine, error) {
 		return &glockEngine{stm: glock.New()}, nil
 	})
 }

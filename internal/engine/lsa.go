@@ -17,28 +17,47 @@ import (
 // "lsa/ideal" are perfectly synchronized hardware clocks, and "lsa/extsync"
 // is the externally synchronized clock with a bounded, masked deviation.
 func init() {
-	Register("lsa/shared", func(o Options) (Engine, error) {
-		return newLSA("lsa/shared", timebase.NewSharedCounter(), o)
-	})
-	Register("lsa/tl2ts", func(o Options) (Engine, error) {
-		return newLSA("lsa/tl2ts", timebase.NewTL2Counter(), o)
-	})
-	Register("lsa/sharded", func(o Options) (Engine, error) {
-		return newLSA("lsa/sharded", timebase.NewShardedCounter(o.Nodes, o.ShardWindow), o)
-	})
-	Register("lsa/mmtimer", func(o Options) (Engine, error) {
-		return newLSA("lsa/mmtimer", timebase.NewMMTimer(o.Nodes), o)
-	})
-	Register("lsa/ideal", func(o Options) (Engine, error) {
-		return newLSA("lsa/ideal", timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(o.Nodes))), o)
-	})
-	Register("lsa/extsync", func(o Options) (Engine, error) {
-		tb, err := newExtSyncTimeBase(o)
-		if err != nil {
-			return nil, err
+	// lsaInfo is the capability profile every LSA-core backend shares; only
+	// the summary and the time-base tunables differ per registration.
+	lsaInfo := func(summary string, extraTunables ...string) Info {
+		return Info{
+			Summary: summary,
+			Capabilities: Capabilities{
+				IntLane:        true,
+				AttemptCounter: true,
+				MultiVersion:   true,
+				Tunables:       append(extraTunables, "max-versions", "cm"),
+			},
 		}
-		return newLSA("lsa/extsync", tb, o)
-	})
+	}
+	Register("lsa/shared", lsaInfo("multi-version LSA on the shared-counter time base"),
+		func(o Options) (Engine, error) {
+			return newLSA("lsa/shared", timebase.NewSharedCounter(), o)
+		})
+	Register("lsa/tl2ts", lsaInfo("multi-version LSA with TL2 commit-timestamp sharing"),
+		func(o Options) (Engine, error) {
+			return newLSA("lsa/tl2ts", timebase.NewTL2Counter(), o)
+		})
+	Register("lsa/sharded", lsaInfo("multi-version LSA on the sharded software counter", "nodes", "shard-window"),
+		func(o Options) (Engine, error) {
+			return newLSA("lsa/sharded", timebase.NewShardedCounter(o.Nodes, o.ShardWindow), o)
+		})
+	Register("lsa/mmtimer", lsaInfo("multi-version LSA on the simulated MMTimer hardware clock", "nodes"),
+		func(o Options) (Engine, error) {
+			return newLSA("lsa/mmtimer", timebase.NewMMTimer(o.Nodes), o)
+		})
+	Register("lsa/ideal", lsaInfo("multi-version LSA on an ideal perfectly synchronized clock", "nodes"),
+		func(o Options) (Engine, error) {
+			return newLSA("lsa/ideal", timebase.NewPerfectClock(hwclock.New(hwclock.IdealConfig(o.Nodes))), o)
+		})
+	Register("lsa/extsync", lsaInfo("multi-version LSA on the externally synchronized ±dev clock", "nodes", "deviation"),
+		func(o Options) (Engine, error) {
+			tb, err := newExtSyncTimeBase(o)
+			if err != nil {
+				return nil, err
+			}
+			return newLSA("lsa/extsync", tb, o)
+		})
 }
 
 // newExtSyncTimeBase builds the externally synchronized time base the

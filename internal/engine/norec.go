@@ -32,26 +32,42 @@ import (
 // to a global write-window protocol whose reads validate with one shared
 // load.
 func init() {
-	Register("norec", func(o Options) (Engine, error) {
-		return &norecEngine{stm: norec.New()}, nil
-	})
-	Register("norec/striped", func(o Options) (Engine, error) {
-		return &norecStripedEngine{stm: norec.NewStriped()}, nil
-	})
-	Register("norec/combined", func(o Options) (Engine, error) {
-		return &norecCombinedEngine{stm: norec.NewCombined()}, nil
-	})
-	Register("norec/adaptive", func(o Options) (Engine, error) {
-		stm, err := norec.NewAdaptive(norec.AdaptiveOptions{
-			Stripes:         o.Stripes,
-			EscalateStripes: o.EscalateStripes,
-			EscalateAborts:  o.EscalateAborts,
-		})
-		if err != nil {
-			return nil, err
+	norecInfo := func(summary string, tunables ...string) Info {
+		return Info{
+			Summary: summary,
+			Capabilities: Capabilities{
+				IntLane:        true,
+				AttemptCounter: true,
+				Tunables:       tunables,
+			},
 		}
-		return &norecAdaptiveEngine{stm: stm}, nil
-	})
+	}
+	Register("norec", norecInfo("value-validating NOrec over one global sequence lock"),
+		func(o Options) (Engine, error) {
+			return &norecEngine{stm: norec.New()}, nil
+		})
+	Register("norec/striped", norecInfo("NOrec over 64 partitioned per-cell sequence locks"),
+		func(o Options) (Engine, error) {
+			return &norecStripedEngine{stm: norec.NewStriped()}, nil
+		})
+	Register("norec/combined", norecInfo("NOrec with flat-combining batched commits"),
+		func(o Options) (Engine, error) {
+			return &norecCombinedEngine{stm: norec.NewCombined()}, nil
+		})
+	Register("norec/adaptive",
+		norecInfo("striped NOrec escalating wide or aborting attempts to a global write window",
+			"stripes", "escalate-stripes", "escalate-aborts"),
+		func(o Options) (Engine, error) {
+			stm, err := norec.NewAdaptive(norec.AdaptiveOptions{
+				Stripes:         o.Stripes,
+				EscalateStripes: o.EscalateStripes,
+				EscalateAborts:  o.EscalateAborts,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &norecAdaptiveEngine{stm: stm}, nil
+		})
 }
 
 type norecEngine struct {

@@ -1,14 +1,18 @@
 package engine
 
 import (
+	"flag"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
 )
 
 // Options parameterize backend construction. Every field has a usable
-// default; backends ignore fields that do not apply to them.
+// default; backends ignore fields that do not apply to them (each backend's
+// registry Info lists the tunables it consumes, by the same names BindFlags
+// registers). New rejects values no backend can honor — see Validate.
 type Options struct {
 	// Nodes sizes per-node time bases (one clock register per worker node).
 	// Default 8. Thread ids are taken modulo Nodes, so a smaller value than
@@ -22,9 +26,11 @@ type Options struct {
 	Deviation int64
 	// ShardWindow is the epoch window (in ticks) a shard of the sharded
 	// counter time base may run ahead of the shared epoch base, for the
-	// "*/sharded" backends. 0 selects timebase.DefaultShardWindow. Larger
-	// windows write the shared epoch line less often but widen the masked
-	// uncertainty gap (more aborts on freshly written hot objects).
+	// "*/sharded" backends. 0 selects timebase.DefaultShardWindow; odd
+	// windows are rounded up to even (the window halves into the masked
+	// deviation). Larger windows write the shared epoch line less often but
+	// widen the masked uncertainty gap (more aborts on freshly written hot
+	// objects).
 	ShardWindow int64
 	// Words is the transactional memory size of the word-based backend.
 	// Default 1<<20. Dynamic cell allocation (e.g. linked-list inserts)
@@ -47,6 +53,57 @@ type Options struct {
 	EscalateAborts int
 }
 
+// contentionManagers are the recognized Options.ContentionManager names
+// ("" selects the engine default). The lookup itself lives in the LSA
+// adapter; this list keeps Validate and that switch honest together.
+var contentionManagers = []string{"aggressive", "suicide", "polite", "karma", "timestamp"}
+
+// Validate rejects option values no backend can honor, with an error naming
+// the field and the constraint. Zero values always pass (they select
+// defaults); New runs this before construction so a bad tunable surfaces as
+// one descriptive error instead of a panic or a silent clamp deep inside a
+// backend.
+func (o Options) Validate() error {
+	if o.Nodes < 0 {
+		return fmt.Errorf("engine: Nodes = %d, must be ≥ 1 (or 0 for the default)", o.Nodes)
+	}
+	if o.MaxVersions < 0 {
+		return fmt.Errorf("engine: MaxVersions = %d, must be ≥ 1 (or 0 for the engine default)", o.MaxVersions)
+	}
+	if o.Deviation < 0 {
+		return fmt.Errorf("engine: Deviation = %d ticks, must be ≥ 0 (0 selects the default)", o.Deviation)
+	}
+	if o.ShardWindow < 0 || o.ShardWindow == 1 {
+		return fmt.Errorf("engine: ShardWindow = %d ticks, must be ≥ 2 (or 0 for the default)", o.ShardWindow)
+	}
+	if o.Words < 0 {
+		return fmt.Errorf("engine: Words = %d, must be ≥ 1 (or 0 for the default)", o.Words)
+	}
+	if o.ContentionManager != "" {
+		known := false
+		for _, n := range contentionManagers {
+			if n == o.ContentionManager {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("engine: unknown contention manager %q (known: %s)",
+				o.ContentionManager, strings.Join(contentionManagers, ", "))
+		}
+	}
+	if o.Stripes != 0 && (o.Stripes < 1 || o.Stripes > 64 || bits.OnesCount(uint(o.Stripes)) != 1) {
+		return fmt.Errorf("engine: Stripes = %d, must be a power of two in [1, 64] (or 0 for the default)", o.Stripes)
+	}
+	if o.EscalateStripes < 0 {
+		return fmt.Errorf("engine: EscalateStripes = %d, must be ≥ 1 (or 0 for the default)", o.EscalateStripes)
+	}
+	if o.EscalateAborts < 0 {
+		return fmt.Errorf("engine: EscalateAborts = %d, must be ≥ 1 (or 0 for the default)", o.EscalateAborts)
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.Nodes <= 0 {
 		o.Nodes = 8
@@ -60,23 +117,82 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// BindFlags registers every backend tunable on fs, parsing into o. Flag
+// names match the Tunables lists in the registry's capability Infos, so
+// `-engine X` plus Describe(X).Capabilities.Tunables tells a user exactly
+// which of these flags matter. The four cmd drivers (lsabench, stmstress,
+// stmserve, stmload) all bind the same surface, so a new Options field added
+// here reaches every binary at once. Defaults are o's current field values;
+// the conventional 0 means "engine default" (for Nodes: the worker count —
+// drivers resolve that before calling New).
+func (o *Options) BindFlags(fs *flag.FlagSet) {
+	fs.IntVar(&o.Nodes, "nodes", o.Nodes, "per-node time-base clock registers (0 = match the worker count)")
+	fs.IntVar(&o.MaxVersions, "max-versions", o.MaxVersions, "LSA per-object history depth (0 = engine default; 1 = single-version)")
+	fs.Int64Var(&o.Deviation, "deviation", o.Deviation, "advertised ext-sync clock deviation bound, ticks (0 = default 2000)")
+	fs.Int64Var(&o.ShardWindow, "shard-window", o.ShardWindow, "sharded-counter epoch window, ticks (0 = default)")
+	fs.IntVar(&o.Words, "words", o.Words, "word-based backend memory size in words (0 = default 1<<20)")
+	fs.StringVar(&o.ContentionManager, "cm", o.ContentionManager,
+		"LSA contention manager: "+strings.Join(contentionManagers, "|")+" (empty = engine default)")
+	fs.IntVar(&o.Stripes, "stripes", o.Stripes, "norec/adaptive stripe count, power of two in [1,64] (0 = default 64)")
+	fs.IntVar(&o.EscalateStripes, "escalate-stripes", o.EscalateStripes, "norec/adaptive touched-stripe escalation threshold (0 = default)")
+	fs.IntVar(&o.EscalateAborts, "escalate-aborts", o.EscalateAborts, "norec/adaptive striped aborts before attempts start escalated (0 = default)")
+}
+
+// Capabilities declares, at registration time, what an engine's threads and
+// transactions implement beyond the core Engine/Thread/Txn contract — the
+// introspection surface behind Describe, `lsabench -list-engines`, and
+// stmserve's /engines endpoint, replacing ad-hoc type assertions scattered
+// through callers.
+type Capabilities struct {
+	// IntLane: the engine's transactions implement IntTxn (unboxed int64
+	// payloads through the typed accessors).
+	IntLane bool `json:"int_lane"`
+	// AttemptCounter: the engine's threads implement AttemptCounter (the
+	// harness's per-attempt retry-latency feed).
+	AttemptCounter bool `json:"attempt_counter"`
+	// MultiVersion: read-only transactions may be served from older
+	// versions, so long scans do not abort concurrent updates.
+	MultiVersion bool `json:"multi_version"`
+	// Tunables are the Options fields the backend consumes, named as the
+	// BindFlags flags ("nodes", "max-versions", "deviation", "shard-window",
+	// "words", "cm", "stripes", "escalate-stripes", "escalate-aborts").
+	Tunables []string `json:"tunables,omitempty"`
+}
+
+// Info describes one registered backend: its registry name, a one-line
+// summary, and its declared capabilities. The capability claims are gated by
+// the engine conformance suite (TestCapabilityClaims), so Describe's answers
+// stay truthful as backends evolve.
+type Info struct {
+	Name         string       `json:"name"`
+	Summary      string       `json:"summary,omitempty"`
+	Capabilities Capabilities `json:"capabilities"`
+}
+
 // Factory builds an engine instance from options.
 type Factory func(Options) (Engine, error)
 
+type registration struct {
+	info    Info
+	factory Factory
+}
+
 var (
 	registryMu sync.RWMutex
-	registry   = map[string]Factory{}
+	registry   = map[string]registration{}
 )
 
-// Register adds a backend under name. It panics on duplicates — backends
-// register from init functions, so a collision is a programming error.
-func Register(name string, f Factory) {
+// Register adds a backend under name with its capability Info (info.Name is
+// overwritten with name). It panics on duplicates — backends register from
+// init functions, so a collision is a programming error.
+func Register(name string, info Info, f Factory) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("engine: duplicate backend %q", name))
 	}
-	registry[name] = f
+	info.Name = name
+	registry[name] = registration{info: info, factory: f}
 }
 
 // Names returns the registered backend names, sorted.
@@ -91,16 +207,41 @@ func Names() []string {
 	return names
 }
 
-// New builds the named backend.
+// Describe returns the named backend's registration-time Info. ok is false
+// for unknown names.
+func Describe(name string) (info Info, ok bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	r, ok := registry[name]
+	return r.info, ok
+}
+
+// Infos returns every registered backend's Info, sorted by name — the
+// capability matrix behind `lsabench -list-engines` and stmserve's /engines.
+func Infos() []Info {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	infos := make([]Info, 0, len(registry))
+	for _, r := range registry {
+		infos = append(infos, r.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// New builds the named backend, validating opt first (see Options.Validate).
 func New(name string, opt Options) (Engine, error) {
 	registryMu.RLock()
-	f, ok := registry[name]
+	r, ok := registry[name]
 	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown backend %q (registered: %s)",
 			name, strings.Join(Names(), ", "))
 	}
-	return f(opt.withDefaults())
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (backend %q)", err, name)
+	}
+	return r.factory(opt.withDefaults())
 }
 
 // MustNew is New for static configurations; it panics on error.

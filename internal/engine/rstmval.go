@@ -11,7 +11,13 @@ import (
 // heuristic — consistency by read-set revalidation, gated by a global
 // counter of attempted commits.
 func init() {
-	Register("rstmval", func(o Options) (Engine, error) {
+	Register("rstmval", Info{
+		Summary: "validating STM with the RSTM commit-counter revalidation heuristic",
+		Capabilities: Capabilities{
+			IntLane:        true,
+			AttemptCounter: true,
+		},
+	}, func(o Options) (Engine, error) {
 		return &rstmEngine{stm: rstmval.New()}, nil
 	})
 }

@@ -26,20 +26,33 @@ import (
 // a masked uncertainty window that — with no version history to fall back
 // to — turns into aborts on freshly written objects.
 func init() {
-	Register("tl2", func(o Options) (Engine, error) {
-		return &tl2Engine{name: "tl2", stm: tl2.New()}, nil
-	})
-	Register("tl2/extsync", func(o Options) (Engine, error) {
-		tb, err := newExtSyncTimeBase(o)
-		if err != nil {
-			return nil, err
+	tl2Info := func(summary string, tunables ...string) Info {
+		return Info{
+			Summary: summary,
+			Capabilities: Capabilities{
+				IntLane:        true,
+				AttemptCounter: true,
+				Tunables:       tunables,
+			},
 		}
-		return &tl2Engine{name: "tl2/extsync", stm: tl2.NewWithTimeBase(tb)}, nil
-	})
-	Register("tl2/sharded", func(o Options) (Engine, error) {
-		tb := timebase.NewShardedCounter(o.Nodes, o.ShardWindow)
-		return &tl2Engine{name: "tl2/sharded", stm: tl2.NewWithTimeBase(tb)}, nil
-	})
+	}
+	Register("tl2", tl2Info("single-version TL2 on its classic shared version clock"),
+		func(o Options) (Engine, error) {
+			return &tl2Engine{name: "tl2", stm: tl2.New()}, nil
+		})
+	Register("tl2/extsync", tl2Info("single-version TL2 on the externally synchronized ±dev clock", "nodes", "deviation"),
+		func(o Options) (Engine, error) {
+			tb, err := newExtSyncTimeBase(o)
+			if err != nil {
+				return nil, err
+			}
+			return &tl2Engine{name: "tl2/extsync", stm: tl2.NewWithTimeBase(tb)}, nil
+		})
+	Register("tl2/sharded", tl2Info("single-version TL2 on the sharded software counter", "nodes", "shard-window"),
+		func(o Options) (Engine, error) {
+			tb := timebase.NewShardedCounter(o.Nodes, o.ShardWindow)
+			return &tl2Engine{name: "tl2/sharded", stm: tl2.NewWithTimeBase(tb)}, nil
+		})
 }
 
 type tl2Engine struct {

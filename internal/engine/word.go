@@ -31,7 +31,14 @@ import (
 // Cells consume words permanently (Options.Words sizes the memory), and the
 // backend inherits the word engine's restriction to exact time bases.
 func init() {
-	Register("wordstm", func(o Options) (Engine, error) {
+	Register("wordstm", Info{
+		Summary: "word-based LSA over striped versioned locks and flat memory",
+		Capabilities: Capabilities{
+			IntLane:        true,
+			AttemptCounter: true,
+			Tunables:       []string{"words"},
+		},
+	}, func(o Options) (Engine, error) {
 		return newWord(o)
 	})
 }

@@ -1,0 +1,63 @@
+package stmserve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client speaks the line protocol over one stream connection. Like Session,
+// a Client is single-goroutine; open one per concurrent caller (that is the
+// load generator's whole point).
+type Client struct {
+	conn io.ReadWriteCloser
+	w    *bufio.Writer
+	sc   *bufio.Scanner
+	buf  []byte
+}
+
+// NewClient wraps an established connection (net.Conn, net.Pipe end, ...).
+func NewClient(conn io.ReadWriteCloser) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	return &Client{conn: conn, w: bufio.NewWriter(conn), sc: sc, buf: make([]byte, 0, 256)}
+}
+
+// Dial connects to a line-protocol server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do executes one request: encode, write, read, decode. Transport and
+// protocol failures come back as the error; op-level failures land in
+// resp.Err with a nil error (callers branch on resp.Err like the in-proc
+// Session's callers branch on the returned error).
+func (c *Client) Do(req *Request, resp *Response) error {
+	var err error
+	c.buf, err = AppendRequest(c.buf[:0], req)
+	if err != nil {
+		return err
+	}
+	c.buf = append(c.buf, '\n')
+	if _, err := c.w.Write(c.buf); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("stmserve: connection closed mid-request: %w", io.EOF)
+	}
+	return ParseResponse(c.sc.Bytes(), resp)
+}

@@ -1,0 +1,308 @@
+package stmserve
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// The line protocol: one request per line, one response per line, fields
+// separated by single spaces — trivially debuggable with nc and cheap to
+// parse (the tokenizer walks the byte slice in place; encode appends to a
+// caller-reused buffer, so a steady-state connection allocates only what
+// the response values force).
+//
+// Requests:
+//
+//	PING
+//	INFO
+//	STATS
+//	R <key>                   read
+//	W <key> <val>             write
+//	T <from> <to> <amount>    transfer
+//	C <key> <old> <new>       compare-and-set
+//	SNAP <key>...             consistent read-only snapshot
+//	MR <key>...               batch read (update-capable transaction)
+//	MW <key> <val> [<key> <val>]...  batch write
+//	SADD <key> | SREM <key> | SHAS <key>   set add / remove / contains
+//
+// Responses:
+//
+//	OK [<text>] [<int>...]    Text (INFO engine name, STATS JSON — a single
+//	                          space-free token) then the numeric results
+//	ERR <message>             op-level failure
+//
+// A response's Text token is distinguishable from the numeric results
+// because no Text the service emits parses as an integer.
+
+// wireOps maps the line-protocol verb to the Op. (INFO/STATS/PING share the
+// JSON names; the transactional verbs are terse because they are what load
+// generators hammer.)
+var wireOps = map[string]Op{
+	"PING": OpPing, "INFO": OpInfo, "STATS": OpStats,
+	"R": OpRead, "W": OpWrite, "T": OpTransfer, "C": OpCAS,
+	"SNAP": OpSnapshot, "MR": OpBatchRead, "MW": OpBatchWrite,
+	"SADD": OpSetAdd, "SREM": OpSetRemove, "SHAS": OpSetContains,
+}
+
+var wireVerbs = func() [numOps]string {
+	var v [numOps]string
+	for verb, op := range wireOps {
+		v[op] = verb
+	}
+	return v
+}()
+
+// nextToken returns the first space-separated token of line and the rest.
+// Empty tokens (runs of spaces) are skipped.
+func nextToken(line []byte) (tok, rest []byte) {
+	for len(line) > 0 && line[0] == ' ' {
+		line = line[1:]
+	}
+	i := 0
+	for i < len(line) && line[i] != ' ' {
+		i++
+	}
+	return line[:i], line[i:]
+}
+
+// errBadInt is the static parse failure (callers add the token and verb);
+// a static error keeps the warm parse path allocation-free, unlike
+// strconv.ParseInt whose string argument escapes into its error.
+var errBadInt = errors.New("not an integer")
+
+func parseInt(tok []byte) (int64, error) {
+	i, neg := 0, false
+	if len(tok) > 0 && (tok[0] == '-' || tok[0] == '+') {
+		neg = tok[0] == '-'
+		i = 1
+	}
+	if i == len(tok) {
+		return 0, errBadInt
+	}
+	var n uint64
+	for ; i < len(tok); i++ {
+		d := tok[i] - '0'
+		if d > 9 {
+			return 0, errBadInt
+		}
+		if n > (1<<63)/10 {
+			return 0, errBadInt // would overflow int64 on the next digit
+		}
+		n = n*10 + uint64(d)
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, errBadInt
+		}
+		return -int64(n), nil
+	}
+	if n > 1<<63-1 {
+		return 0, errBadInt
+	}
+	return int64(n), nil
+}
+
+// ParseRequest decodes one protocol line into req, reusing req's slices.
+// The line must not contain the trailing newline.
+func ParseRequest(line []byte, req *Request) error {
+	*req = Request{Op: OpInvalid, Keys: req.Keys[:0], Vals: req.Vals[:0]}
+	verb, rest := nextToken(line)
+	if len(verb) == 0 {
+		return fmt.Errorf("stmserve: empty request line")
+	}
+	op, ok := wireOps[string(verb)]
+	if !ok {
+		return fmt.Errorf("stmserve: unknown verb %q", verb)
+	}
+	req.Op = op
+
+	// ints collects the line's remaining integer fields.
+	var ints [3]int64
+	need := 0
+	switch op {
+	case OpPing, OpInfo, OpStats:
+	case OpRead, OpSetAdd, OpSetRemove, OpSetContains:
+		need = 1
+	case OpWrite:
+		need = 2
+	case OpTransfer, OpCAS:
+		need = 3
+	case OpSnapshot, OpBatchRead:
+		for {
+			tok, r := nextToken(rest)
+			if len(tok) == 0 {
+				break
+			}
+			n, err := parseInt(tok)
+			if err != nil {
+				return fmt.Errorf("stmserve: %s: bad key %q", verb, tok)
+			}
+			req.Keys = append(req.Keys, int(n))
+			rest = r
+		}
+		if len(req.Keys) == 0 {
+			return fmt.Errorf("stmserve: %s needs at least one key", verb)
+		}
+		return expectEnd(verb, rest)
+	case OpBatchWrite:
+		for {
+			tok, r := nextToken(rest)
+			if len(tok) == 0 {
+				break
+			}
+			k, err := parseInt(tok)
+			if err != nil {
+				return fmt.Errorf("stmserve: MW: bad key %q", tok)
+			}
+			tok, r = nextToken(r)
+			if len(tok) == 0 {
+				return fmt.Errorf("stmserve: MW: key %d without a value", k)
+			}
+			v, err := parseInt(tok)
+			if err != nil {
+				return fmt.Errorf("stmserve: MW: bad value %q", tok)
+			}
+			req.Keys = append(req.Keys, int(k))
+			req.Vals = append(req.Vals, v)
+			rest = r
+		}
+		if len(req.Keys) == 0 {
+			return fmt.Errorf("stmserve: MW needs at least one key-value pair")
+		}
+		return nil
+	}
+	for i := 0; i < need; i++ {
+		tok, r := nextToken(rest)
+		if len(tok) == 0 {
+			return fmt.Errorf("stmserve: %s needs %d fields, got %d", verb, need, i)
+		}
+		n, err := parseInt(tok)
+		if err != nil {
+			return fmt.Errorf("stmserve: %s: bad field %q", verb, tok)
+		}
+		ints[i] = n
+		rest = r
+	}
+	switch op {
+	case OpRead, OpSetAdd, OpSetRemove, OpSetContains:
+		req.Key = int(ints[0])
+	case OpWrite:
+		req.Key, req.Val = int(ints[0]), ints[1]
+	case OpTransfer:
+		req.Key, req.Key2, req.Val = int(ints[0]), int(ints[1]), ints[2]
+	case OpCAS:
+		req.Key, req.Val, req.Val2 = int(ints[0]), ints[1], ints[2]
+	}
+	return expectEnd(verb, rest)
+}
+
+func expectEnd(verb, rest []byte) error {
+	if tok, _ := nextToken(rest); len(tok) != 0 {
+		return fmt.Errorf("stmserve: %s: trailing field %q", verb, tok)
+	}
+	return nil
+}
+
+// AppendRequest encodes req as one protocol line (no newline) appended to
+// dst.
+func AppendRequest(dst []byte, req *Request) ([]byte, error) {
+	if req.Op <= OpInvalid || req.Op >= numOps {
+		return dst, fmt.Errorf("stmserve: cannot encode op %v", req.Op)
+	}
+	dst = append(dst, wireVerbs[req.Op]...)
+	appendInt := func(n int64) {
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, n, 10)
+	}
+	switch req.Op {
+	case OpPing, OpInfo, OpStats:
+	case OpRead, OpSetAdd, OpSetRemove, OpSetContains:
+		appendInt(int64(req.Key))
+	case OpWrite:
+		appendInt(int64(req.Key))
+		appendInt(req.Val)
+	case OpTransfer:
+		appendInt(int64(req.Key))
+		appendInt(int64(req.Key2))
+		appendInt(req.Val)
+	case OpCAS:
+		appendInt(int64(req.Key))
+		appendInt(req.Val)
+		appendInt(req.Val2)
+	case OpSnapshot, OpBatchRead:
+		for _, k := range req.Keys {
+			appendInt(int64(k))
+		}
+	case OpBatchWrite:
+		if len(req.Keys) != len(req.Vals) {
+			return dst, fmt.Errorf("stmserve: cannot encode batch write with %d keys but %d values", len(req.Keys), len(req.Vals))
+		}
+		for i, k := range req.Keys {
+			appendInt(int64(k))
+			appendInt(req.Vals[i])
+		}
+	}
+	return dst, nil
+}
+
+// AppendResponse encodes resp as one protocol line (no newline) appended to
+// dst.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	if resp.Err != "" {
+		dst = append(dst, "ERR "...)
+		return append(dst, resp.Err...)
+	}
+	dst = append(dst, "OK"...)
+	if resp.Text != "" {
+		dst = append(dst, ' ')
+		dst = append(dst, resp.Text...)
+	}
+	for _, v := range resp.Vals {
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, v, 10)
+	}
+	return dst
+}
+
+// ParseResponse decodes one response line into resp, reusing resp's Vals.
+// An ERR line populates resp.Err and returns nil — op-level failures are
+// data, not transport errors.
+func ParseResponse(line []byte, resp *Response) error {
+	resp.Reset()
+	tok, rest := nextToken(line)
+	switch string(tok) {
+	case "OK":
+		first := true
+		for {
+			tok, r := nextToken(rest)
+			if len(tok) == 0 {
+				return nil
+			}
+			n, err := parseInt(tok)
+			if err != nil {
+				if !first {
+					return fmt.Errorf("stmserve: bad response value %q", tok)
+				}
+				// The single non-numeric leading token is the Text field.
+				resp.Text = string(tok)
+			} else {
+				resp.Vals = append(resp.Vals, n)
+			}
+			first = false
+			rest = r
+		}
+	case "ERR":
+		for len(rest) > 0 && rest[0] == ' ' {
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			resp.Err = "unknown error"
+		} else {
+			resp.Err = string(rest)
+		}
+		return nil
+	default:
+		return fmt.Errorf("stmserve: malformed response line %q", line)
+	}
+}
