@@ -252,6 +252,41 @@ func TestCheckLatencyAllOrNone(t *testing.T) {
 	}
 }
 
+// TestCheckWalTelemetry pins the durability-telemetry compatibility rule:
+// a record measured on a durable engine carries a wal block with its fsync
+// policy — accepted next to plain records (snapshots may mix durable and
+// in-memory engines), never required, but rejected when the policy is
+// outside the engine.Options -fsync domain (a stripped or hand-edited
+// field).
+func TestCheckWalTelemetry(t *testing.T) {
+	walRecord := func(policy string) harness.Result {
+		r := record("durable/norec", "bank/64", 50)
+		r.Wal = &harness.WalInfo{Dir: "/tmp/wal", FsyncPolicy: policy}
+		return r
+	}
+	for _, policy := range []string{"always", "group", "never"} {
+		rs := []harness.Result{record("tl2", "bank/64", 100), walRecord(policy)}
+		if errs := check(marshal(t, rs), []string{"tl2", "durable/norec"}); len(errs) != 0 {
+			t.Fatalf("wal record with fsync=%s rejected: %v", policy, errs)
+		}
+	}
+	rs := []harness.Result{walRecord("sometimes")}
+	errs := check(marshal(t, rs), []string{"durable/norec"})
+	if !strings.Contains(errsString(errs), "fsync policy") {
+		t.Fatalf("malformed fsync policy not reported: %v", errs)
+	}
+	// A wal block with an empty policy is equally malformed — the harness
+	// always copies the engine's resolved policy, never an empty string.
+	raw := []byte(`[{"workload":"bank/64","engine":"durable/norec","workers":4,` +
+		`"elapsed_ns":50000000,"txs":100,"tx_per_s":2000,` +
+		`"allocs_per_commit":12.5,"bytes_per_commit":800,` +
+		`"stats":{"commits":100},"wal":{"dir":"/tmp/wal"}}]`)
+	errs = check(raw, []string{"durable/norec"})
+	if !strings.Contains(errsString(errs), "fsync policy") {
+		t.Fatalf("policy-less wal block not reported: %v", errs)
+	}
+}
+
 // TestCheckRejectsInconsistentLatency: a latency block whose bucket counts
 // do not sum to the record's committed transactions is a stripped or edited
 // record (the harness derives Txs and the histogram from the same probes).

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,14 +38,50 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestSelectedEngines(t *testing.T) {
-	if got := selectedEngines(""); !reflect.DeepEqual(got, engine.Names()) {
-		t.Errorf("empty spec = %v, want all registered", got)
+	// The default matrix is every registered engine except the durable
+	// wrappers, which only run by explicit name.
+	var def []string
+	for _, info := range engine.Infos() {
+		if !info.Capabilities.Durable {
+			def = append(def, info.Name)
+		}
 	}
-	if got := selectedEngines("all"); !reflect.DeepEqual(got, engine.Names()) {
-		t.Errorf("all spec = %v, want all registered", got)
+	if len(def) == len(engine.Names()) {
+		t.Fatalf("no durable engines registered — the default-exclusion test is vacuous")
 	}
-	if got := selectedEngines(" tl2 , lsa/shared "); !reflect.DeepEqual(got, []string{"tl2", "lsa/shared"}) {
+	if got := selectedEngines(""); !reflect.DeepEqual(got, def) {
+		t.Errorf("empty spec = %v, want non-durable registry %v", got, def)
+	}
+	if got := selectedEngines("all"); !reflect.DeepEqual(got, def) {
+		t.Errorf("all spec = %v, want non-durable registry %v", got, def)
+	}
+	if got := selectedEngines(" tl2 , durable/norec "); !reflect.DeepEqual(got, []string{"tl2", "durable/norec"}) {
 		t.Errorf("explicit spec = %v", got)
+	}
+}
+
+func TestRunBenchDurableSkipsStructWorkloads(t *testing.T) {
+	// An explicit -engine durable/<base> run must complete: workloads whose
+	// payloads the WAL cannot serialize (the set workloads' struct markers)
+	// are skipped, the int-lane workloads are measured.
+	results, err := runBench([]string{"durable/norec"}, engine.Options{WALDir: t.TempDir()},
+		2, 20*time.Millisecond, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || len(results) >= len(benchWorkloads()) {
+		t.Fatalf("got %d results, want a nonempty strict subset of the %d workloads",
+			len(results), len(benchWorkloads()))
+	}
+	for _, r := range results {
+		for _, structural := range []string{"intset", "hashset", "skiplist"} {
+			if strings.HasPrefix(r.Workload, structural) {
+				t.Errorf("struct-payload workload %s ran on %s", r.Workload, r.Engine)
+			}
+		}
+		if r.Txs == 0 {
+			t.Errorf("%s on %s committed nothing", r.Workload, r.Engine)
+		}
 	}
 }
 

@@ -8,6 +8,14 @@
 //	stmload -addr localhost:7070 -conns 1000 -duration 10s
 //	stmload -addr localhost:7070 -mix transfer=80,snapshot=20 -zipf-s 1.5
 //	stmload -engine norec -conn-mode pool -conns 256      in-process (no server, no sockets)
+//	stmload -addr localhost:7070 -recovery-audit -expect-recovered
+//
+// -recovery-audit switches stmload from throughput measurement to the
+// crash-recovery proof: it records the last acknowledged transfer on every
+// connection before the server dies (kill -9 it mid-run), waits for the
+// restart over the same WAL, and exits non-zero unless the server reflects
+// every acked commit and conserves the bank sum (-duration bounds how long
+// it waits for the crash).
 //
 // After the run, stmload fetches the server's STATS and prints the engine's
 // abort-reason mix next to the client-side latency, so one invocation shows
@@ -29,6 +37,9 @@ import (
 	"repro/internal/diag"
 	"repro/internal/engine"
 	"repro/internal/stmserve"
+
+	// Register the durable/* wrappers for in-process mode.
+	_ "repro/internal/durable"
 )
 
 func main() {
@@ -43,6 +54,10 @@ func main() {
 		mixSpec     = flag.String("mix", "", "operation mix, e.g. transfer=40,read=20,snapshot=10,cas=10,set=5 (default: built-in bank blend)")
 		seed        = flag.Int64("seed", 1, "base RNG seed (per-connection seeds derive from it)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of a table")
+		audit       = flag.Bool("recovery-audit", false, "crash-recovery audit: load acked transfers until the server dies, reconnect, verify nothing acked was lost (requires -addr)")
+		reconnectTO = flag.Duration("reconnect-timeout", 30*time.Second, "recovery audit: how long to wait for the restarted server")
+		expectRec   = flag.Bool("expect-recovered", false, "recovery audit: also require the restarted server to report ≥ 1 recovered WAL commit")
+		skipSum     = flag.Bool("skip-sum", false, "recovery audit: skip the conserved-sum check (other clients ran non-transfer traffic)")
 		engName     = flag.String("engine", "norec", "in-process engine backend when -addr is empty")
 		connMode    = flag.String("conn-mode", stmserve.ModeThread, "in-process connection mapping: thread|pool")
 		poolWorkers = flag.Int("pool-workers", runtime.GOMAXPROCS(0), "in-process engine threads in pool mode")
@@ -98,6 +113,33 @@ func main() {
 		defer svc.Close()
 		dial = stmserve.ServiceDialer(svc)
 		fmt.Printf("stmload: in-process engine=%s keys=%d mode=%s\n", eng.Name(), kv, svc.Mode())
+	}
+
+	if *audit {
+		if *addr == "" {
+			fatal(fmt.Errorf("-recovery-audit requires -addr: the audit observes a real server crash and restart"))
+		}
+		rep, aerr := stmserve.RunRecoveryAudit(dial, stmserve.AuditOptions{
+			Conns: *conns, Window: *duration, ReconnectTimeout: *reconnectTO,
+			Keys: *keys, ExpectRecovered: *expectRec, SkipSum: *skipSum,
+		})
+		if *jsonOut {
+			if data, jerr := json.MarshalIndent(rep, "", "  "); jerr == nil {
+				fmt.Println(string(data))
+			}
+		} else {
+			fmt.Printf("stmload: recovery audit: %d conns acked %d transfers, down after %v, back after %v, sum %d/%d, recovered %d commits (seq %d)\n",
+				rep.Conns, rep.Acked, rep.DownAfter.Round(time.Millisecond), rep.ReconnectAfter.Round(time.Millisecond),
+				rep.Sum, rep.WantSum, rep.RecoveredCommits, rep.RecoveredSeq)
+		}
+		if aerr != nil {
+			fatal(aerr)
+		}
+		fmt.Println("stmload: recovery audit passed: every acked commit survived the crash")
+		if err := stopDiag(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	rep, err := stmserve.RunLoad(dial, opts)

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +37,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/stmserve"
+
+	// Register the durable/* wrappers (-engine durable/norec -wal ...).
+	_ "repro/internal/durable"
 )
 
 func main() {
@@ -72,6 +76,14 @@ func main() {
 	eng, err := engine.New(*engName, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if d, ok := eng.(engine.Durable); ok {
+		// Recovery already ran inside engine.New (replay is part of
+		// constructing a durable engine); report what it found before the
+		// service repopulates the keyspace from the recovered cells.
+		di := d.DurabilityInfo()
+		fmt.Printf("stmserve: durable: wal=%s fsync=%s recovered %d commits (seq %d, snapshot %d, torn tail %d bytes)\n",
+			di.WALDir, di.FsyncPolicy, di.RecoveredCommits, di.RecoveredSeq, di.SnapshotSeq, di.TornTailBytes)
 	}
 	svc, err := stmserve.New(eng, stmserve.Config{
 		Keys: *keys, Initial: *initial, Mode: *connMode, PoolWorkers: *poolWorkers,
@@ -112,11 +124,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	// Shutdown ordering matters: drain the line-protocol handlers (Shutdown
+	// waits for every in-flight session), drain the HTTP API the same way,
+	// and only then close the service — which flushes and closes the WAL as
+	// its last step — so the stats table below is exact and every
+	// acknowledged commit is on disk before the process exits.
 	srv.Shutdown()
 	if httpSrv != nil {
-		httpSrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "stmserve: http api shutdown:", err)
+		}
+		cancel()
 	}
-	svc.Close()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "stmserve: wal close:", err)
+	}
 
 	report(svc.Stats())
 	if err := stopDiag(); err != nil {

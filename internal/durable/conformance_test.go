@@ -1,0 +1,458 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestRegistryWrappers: every wrapped backend is registered as
+// "durable/<base>" with truthful capability claims, and the registry
+// factory honors the -wal/-fsync/-snapshot options.
+func TestRegistryWrappers(t *testing.T) {
+	for _, base := range Wrapped {
+		name := "durable/" + base
+		t.Run(name, func(t *testing.T) {
+			info, ok := engine.Describe(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			if !info.Capabilities.Durable {
+				t.Error("Durable capability not claimed")
+			}
+			baseInfo, _ := engine.Describe(base)
+			if info.Capabilities.IntLane != baseInfo.Capabilities.IntLane ||
+				info.Capabilities.MultiVersion != baseInfo.Capabilities.MultiVersion {
+				t.Errorf("capabilities %+v diverge from base %+v", info.Capabilities, baseInfo.Capabilities)
+			}
+			for _, tun := range []string{"wal", "fsync", "snapshot"} {
+				found := false
+				for _, have := range info.Capabilities.Tunables {
+					if have == tun {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("tunable %q not listed", tun)
+				}
+			}
+
+			dir := t.TempDir()
+			eng, err := engine.New(name, engine.Options{WALDir: dir, Fsync: FsyncAlways, SnapshotBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, ok := eng.(engine.Durable)
+			if !ok {
+				t.Fatal("engine does not implement engine.Durable")
+			}
+			if got := d.DurabilityInfo(); got.WALDir != dir || got.FsyncPolicy != FsyncAlways {
+				t.Errorf("DurabilityInfo = %+v, want dir %s, policy always", got, dir)
+			}
+			// Capability claims verified against the live transaction.
+			c := eng.NewCell(1)
+			th := eng.Thread(0)
+			if _, ok := th.(engine.AttemptCounter); ok != info.Capabilities.AttemptCounter {
+				t.Errorf("AttemptCounter claim %v, thread says %v", info.Capabilities.AttemptCounter, ok)
+			}
+			if err := th.Run(func(tx engine.Txn) error {
+				if _, ok := tx.(engine.IntTxn); ok != info.Capabilities.IntLane {
+					t.Errorf("IntLane claim %v, transaction says %v", info.Capabilities.IntLane, ok)
+				}
+				return engine.Set(tx, c, 2)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WALSync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WALClose(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBankRecoveryRoundTrip is the in-process half of the headline proof:
+// for every wrapped backend, a concurrent bank run closes cleanly (or is
+// left mid-flight by a crashpoint elsewhere in this file), reboots from the
+// same directory, and the conserved sum plus every acknowledged commit
+// survive.
+func TestBankRecoveryRoundTrip(t *testing.T) {
+	const (
+		nAccounts = 8
+		nThreads  = 4
+		initial   = 100
+	)
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for _, base := range Wrapped {
+		for _, policy := range []string{FsyncAlways, FsyncGroup, FsyncNever} {
+			t.Run("durable/"+base+"/"+policy, func(t *testing.T) {
+				dir := t.TempDir()
+				boot := func() (*Engine, []engine.Cell) {
+					e := newTestEngine(t, base, dir, Options{Fsync: policy})
+					cells := make([]engine.Cell, nAccounts)
+					for i := range cells {
+						cells[i] = e.NewCell(initial)
+					}
+					return e, cells
+				}
+				e, cells := boot()
+				var commits atomic.Uint64
+				var wg sync.WaitGroup
+				for w := 0; w < nThreads; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						th := e.Thread(w)
+						for i := 0; i < iters; i++ {
+							from, to := (w+i)%nAccounts, (w+i+1)%nAccounts
+							err := th.Run(func(tx engine.Txn) error {
+								if err := engine.Update(tx, cells[from], func(n int) int { return n - 1 }); err != nil {
+									return err
+								}
+								return engine.Update(tx, cells[to], func(n int) int { return n + 1 })
+							})
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							commits.Add(1)
+						}
+					}(w)
+				}
+				wg.Wait()
+				d := engine.Durable(e)
+				if err := d.WALClose(); err != nil {
+					t.Fatal(err)
+				}
+
+				e2, cells2 := boot()
+				info := e2.DurabilityInfo()
+				if info.RecoveredSeq != commits.Load() {
+					t.Errorf("recovered seq %d, want %d (dense tickets, no gaps)", info.RecoveredSeq, commits.Load())
+				}
+				sum := 0
+				th := e2.Thread(0)
+				if err := th.RunReadOnly(func(tx engine.Txn) error {
+					sum = 0
+					for _, c := range cells2 {
+						n, err := engine.Get[int](tx, c)
+						if err != nil {
+							return err
+						}
+						sum += n
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if sum != nAccounts*initial {
+					t.Errorf("conserved sum %d, want %d", sum, nAccounts*initial)
+				}
+				// Read-your-committed-writes across the restart: one more
+				// transfer, then its effect is visible.
+				if err := th.Run(func(tx engine.Txn) error {
+					return engine.Update(tx, cells2[0], func(n int) int { return n + 5 })
+				}); err != nil {
+					t.Fatal(err)
+				}
+				var got int
+				if err := th.RunReadOnly(func(tx engine.Txn) error {
+					var err error
+					got, err = engine.Get[int](tx, cells2[0])
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := e2.WALClose(); err != nil {
+					t.Fatal(err)
+				}
+				e3, cells3 := boot()
+				defer e3.WALClose()
+				var after int
+				if err := e3.Thread(0).RunReadOnly(func(tx engine.Txn) error {
+					var err error
+					after, err = engine.Get[int](tx, cells3[0])
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if after != got {
+					t.Errorf("read-your-writes across restart: %d, want %d", after, got)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashpointConformance is the injected-fault half of the headline
+// proof: for every wrapped backend and every crashpoint, a single-threaded
+// bank run is killed mid-commit (or mid-compaction), the wedged engine is
+// discarded, and a fresh boot from the directory restores a state that (a)
+// conserves the sum, (b) contains every acknowledged commit, and (c) is an
+// exact seq-dense prefix of the run (counter == recovered seq).
+func TestCrashpointConformance(t *testing.T) {
+	points := []string{
+		CrashAfterPartialRecord,
+		CrashAfterRecordBeforeSync,
+		CrashMidSnapshotRename,
+		CrashAfterSnapshotRename,
+	}
+	for _, base := range Wrapped {
+		for _, point := range points {
+			t.Run("durable/"+base+"/"+point, func(t *testing.T) {
+				dir := t.TempDir()
+				crash := &Crashpoints{}
+				opt := Options{Crash: crash}
+				snapshotPoint := point == CrashMidSnapshotRename || point == CrashAfterSnapshotRename
+				if snapshotPoint {
+					// Tiny threshold: the first commit triggers compaction,
+					// whose crashpoint then wedges the log asynchronously.
+					opt.SnapshotBytes = 1
+				}
+				e := newTestEngine(t, base, dir, opt)
+				th := e.Thread(0)
+				a, b, c := bankCells(e)
+
+				lastAcked := 0
+				armAt := 5
+				var crashErr error
+				for i := 1; i <= 200; i++ {
+					if !snapshotPoint && i == armAt {
+						crash.mu.Lock()
+						switch point {
+						case CrashAfterPartialRecord:
+							crash.AfterPartialRecord = true
+							crash.PartialBytes = 6
+						case CrashAfterRecordBeforeSync:
+							crash.AfterRecordBeforeSync = true
+						}
+						crash.mu.Unlock()
+					}
+					if snapshotPoint && i == armAt {
+						crash.mu.Lock()
+						if point == CrashMidSnapshotRename {
+							crash.MidSnapshotRename = true
+						} else {
+							crash.AfterSnapshotRename = true
+						}
+						crash.mu.Unlock()
+					}
+					if err := transfer(th, a, b, c, i); err != nil {
+						crashErr = err
+						break
+					}
+					lastAcked = i
+				}
+				if crashErr == nil && snapshotPoint {
+					// Compaction crashes asynchronously; wait it out, then
+					// the next transfer must observe the wedged log.
+					e.compactWG.Wait()
+					crashErr = transfer(th, a, b, c, 201)
+				}
+				if !errors.Is(crashErr, ErrCrashed) {
+					t.Fatalf("run never crashed: lastAcked=%d err=%v", lastAcked, crashErr)
+				}
+				if e.Crashed() == nil {
+					t.Fatal("engine not wedged after crashpoint")
+				}
+				if crash.Fired() != point {
+					t.Fatalf("fired %q, want %q", crash.Fired(), point)
+				}
+
+				// Discard the wedged engine; recover a fresh one.
+				e2 := newTestEngine(t, base, dir, Options{})
+				defer e2.WALClose()
+				a2, b2, c2 := bankCells(e2)
+				var av, bv, cv int
+				if err := e2.Thread(0).RunReadOnly(func(tx engine.Txn) error {
+					var err error
+					if av, err = engine.Get[int](tx, a2); err != nil {
+						return err
+					}
+					if bv, err = engine.Get[int](tx, b2); err != nil {
+						return err
+					}
+					cv, err = engine.Get[int](tx, c2)
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if av+bv != 2000 {
+					t.Errorf("conserved sum %d+%d, want 2000", av, bv)
+				}
+				if cv < lastAcked {
+					t.Errorf("acked commit lost: counter %d < last acked %d", cv, lastAcked)
+				}
+				info := e2.DurabilityInfo()
+				if uint64(cv) != info.RecoveredSeq {
+					t.Errorf("counter %d != recovered seq %d (not a dense prefix)", cv, info.RecoveredSeq)
+				}
+				if av != 1000-cv || bv != 1000+cv {
+					t.Errorf("state a=%d b=%d not the seq-%d prefix", av, bv, cv)
+				}
+				if snapshotPoint && point == CrashAfterSnapshotRename && info.SnapshotSeq == 0 {
+					t.Error("snapshot was installed but boot ignored it")
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentGroupCommitCrash: a crashpoint under concurrent load and
+// group fsync still recovers every acknowledged commit — the group flush
+// happens before the acknowledgment, so acked ⇒ durable even batched.
+func TestConcurrentGroupCommitCrash(t *testing.T) {
+	for _, base := range Wrapped {
+		t.Run("durable/"+base, func(t *testing.T) {
+			dir := t.TempDir()
+			crash := &Crashpoints{}
+			e := newTestEngine(t, base, dir, Options{Fsync: FsyncGroup, Crash: crash})
+			const nThreads = 4
+			cells := make([]engine.Cell, nThreads)
+			for i := range cells {
+				cells[i] = e.NewCell(0)
+			}
+			var acked [nThreads]atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < nThreads; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := e.Thread(w)
+					for i := 1; i <= 500; i++ {
+						if w == 0 && i == 40 {
+							crash.mu.Lock()
+							crash.AfterPartialRecord = true
+							crash.PartialBytes = 3
+							crash.mu.Unlock()
+						}
+						err := th.Run(func(tx engine.Txn) error {
+							return engine.Set(tx, cells[w], i)
+						})
+						if err != nil {
+							return
+						}
+						acked[w].Store(int64(i))
+					}
+				}(w)
+			}
+			wg.Wait()
+			if e.Crashed() == nil {
+				t.Fatal("engine never crashed")
+			}
+
+			e2 := newTestEngine(t, base, dir, Options{})
+			defer e2.WALClose()
+			cells2 := make([]engine.Cell, nThreads)
+			for i := range cells2 {
+				cells2[i] = e2.NewCell(0)
+			}
+			if err := e2.Thread(0).RunReadOnly(func(tx engine.Txn) error {
+				for w := 0; w < nThreads; w++ {
+					n, err := engine.Get[int](tx, cells2[w])
+					if err != nil {
+						return err
+					}
+					if int64(n) < acked[w].Load() {
+						t.Errorf("thread %d: acked commit lost (recovered %d < acked %d)", w, n, acked[w].Load())
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRecoveredCellsBeyondRecreation: values recovered for cell ids the
+// application has not re-created survive both boot and a later compaction.
+func TestRecoveredCellsBeyondRecreation(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{})
+	cells := make([]engine.Cell, 4)
+	for i := range cells {
+		cells[i] = e.NewCell(0)
+	}
+	th := e.Thread(0)
+	for i, c := range cells {
+		c := c
+		if err := th.Run(func(tx engine.Txn) error { return engine.Set(tx, c, 10+i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot recreating only 2 of the 4 cells, commit, compact, close.
+	e2 := newTestEngine(t, "norec", dir, Options{})
+	c0, c1 := e2.NewCell(0), e2.NewCell(0)
+	_ = c1
+	th2 := e2.Thread(0)
+	if err := th2.Run(func(tx engine.Txn) error { return engine.Set(tx, c0, 99) }); err != nil {
+		t.Fatal(err)
+	}
+	e2.compact()
+	if err := e2.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := recoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[uint64]int{0: 99, 1: 11, 2: 12, 3: 13} {
+		v, ok := rec.values[id]
+		if !ok {
+			t.Errorf("cell %d dropped by compaction", id)
+			continue
+		}
+		if got := v.Load().(int); got != want {
+			t.Errorf("cell %d = %d, want %d", id, got, want)
+		}
+	}
+	if rec.snapSeq == 0 {
+		t.Error("compaction never installed a snapshot")
+	}
+}
+
+// TestRegisteredDurableCount pins the wrapper roster: the three paper
+// engines named by the acceptance criteria, each present in the registry.
+func TestRegisteredDurableCount(t *testing.T) {
+	want := map[string]bool{"durable/norec": true, "durable/lsa/shared": true, "durable/glock": true}
+	got := 0
+	for _, n := range engine.Names() {
+		if want[n] {
+			got++
+		}
+	}
+	if got != len(want) {
+		t.Fatalf("registered %d of %d durable wrappers: %v", got, len(want), engine.Names())
+	}
+}
+
+// TestDurabilityInfoJSONShape: the info block stmserve and the bench
+// snapshot embed marshals with the documented field names.
+func TestDurabilityInfoJSONShape(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{})
+	defer e.WALClose()
+	info := e.DurabilityInfo()
+	if info.FsyncPolicy != FsyncAlways || info.WALDir != dir {
+		t.Errorf("info = %+v", info)
+	}
+	s := fmt.Sprintf("%+v", info)
+	if s == "" {
+		t.Fatal("unprintable info")
+	}
+}

@@ -1,0 +1,490 @@
+// Package durable wraps any registered STM engine into a recoverable store:
+// a write-ahead log of redo records plus a compacting snapshot, replayed at
+// construction, turn a crash back into the last acknowledged state.
+//
+// # Design
+//
+// The wrapper is engine-agnostic — it never sees a backend's internals, only
+// the Engine/Thread/Txn surface — so the commit order it journals must come
+// from the inner engine itself. It does this with a ticket cell: a hidden
+// transactional cell holding the last assigned commit sequence number. The
+// first write of every transaction read-increments the ticket inside the
+// same transaction, so the inner engine's own serializability totally orders
+// tickets consistently with every data write; an aborted attempt discards
+// its ticket write, so sequence numbers stay dense. After the inner commit
+// returns, the thread hands its redo record to the log's sequencer, which
+// admits appends strictly in ticket order — the on-disk log is therefore
+// always a seq-dense prefix of the commit order, and recovery treats a gap
+// as corruption. The ticket makes every pair of update transactions
+// conflict; that contention is the engine-agnostic durability tax, and
+// read-only transactions never pay it.
+//
+// Recovery runs inside Wrap, before the application creates any cell: the
+// snapshot (if present) and every segment above its watermark are folded
+// into a cellID → value map, a torn final record is truncated (never
+// refused), and NewCell substitutes the recovered value for the caller's
+// initial. The contract is that the application creates its cells in a
+// deterministic order across restarts — cmd/stmserve creates its whole
+// keyspace at boot, in key order, before serving.
+//
+// Redo records carry typed val.Value payloads, so only WAL-serializable
+// values may be written through a durable engine: the numeric lane plus
+// boxed nil, bool, string, float64 and []byte. Writes of anything else fail
+// at Write time with ErrUnsupportedPayload, before a commit can happen.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/val"
+)
+
+// defaultSnapshotBytes triggers compaction after 8 MiB of appended redo
+// records.
+const defaultSnapshotBytes = 8 << 20
+
+// snapThreadID is the inner-engine worker id of the snapshot capture
+// thread, far above any real worker's dense 0..N−1 ids.
+const snapThreadID = 1 << 16
+
+// Options parameterize Wrap. The zero value is usable: a temp WAL
+// directory, group-commit fsync, 8 MiB compaction threshold.
+type Options struct {
+	// Dir is the WAL directory. Empty creates a fresh temp directory —
+	// durability within the process run only (benches, conformance); real
+	// recovery needs a path that survives restarts.
+	Dir string
+	// Fsync is FsyncAlways, FsyncGroup or FsyncNever ("" = group).
+	Fsync string
+	// SnapshotBytes of appended redo records trigger a background snapshot
+	// compaction. 0 selects the 8 MiB default; negative disables
+	// compaction.
+	SnapshotBytes int64
+	// SegmentBytes rotates log segments (0 = 4 MiB default).
+	SegmentBytes int64
+	// GroupInterval bounds the group-commit flush wait (0 = 2 ms default).
+	GroupInterval time.Duration
+	// Crash arms the deterministic fault-injection seam (nil = no faults).
+	Crash *Crashpoints
+}
+
+// Engine wraps an inner engine with the WAL. It implements engine.Engine
+// and engine.Durable.
+type Engine struct {
+	inner engine.Engine
+	name  string
+	log   *Log
+	opt   Options
+	info  engine.DurabilityInfo
+
+	mu        sync.Mutex
+	cells     []engine.Cell
+	recovered map[uint64]val.Value // never mutated after Wrap
+
+	seqCell engine.Cell // the ticket cell, on the inner engine
+
+	bytesSince atomic.Int64
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
+	snapOnce   sync.Once
+	snapThread engine.Thread
+}
+
+// Wrap recovers the WAL directory's state and returns a durable engine over
+// inner. Recovery happens here — before the first NewCell — so the caller
+// must not have created any cell on inner yet, and must create its cells in
+// the same order as the run that produced the log.
+func Wrap(inner engine.Engine, opt Options) (*Engine, error) {
+	dir := opt.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "durable-wal-"); err != nil {
+			return nil, err
+		}
+	}
+	rec, err := recoverDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opt.SnapshotBytes == 0 {
+		opt.SnapshotBytes = defaultSnapshotBytes
+	}
+	e := &Engine{
+		inner:     inner,
+		name:      "durable/" + inner.Name(),
+		opt:       opt,
+		recovered: rec.values,
+	}
+	// The ticket cell is created before any application cell and resumes
+	// from the recovered sequence, so commit numbering continues densely
+	// across restarts.
+	e.seqCell = inner.NewCell(int64(rec.lastSeq))
+	l, err := openLog(logConfig{
+		dir:           dir,
+		policy:        opt.Fsync,
+		segmentBytes:  opt.SegmentBytes,
+		groupInterval: opt.GroupInterval,
+		startSeq:      rec.lastSeq + 1,
+		crash:         opt.Crash,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.log = l
+	e.info = engine.DurabilityInfo{
+		WALDir:           dir,
+		FsyncPolicy:      l.cfg.policy,
+		RecoveredCommits: rec.commits,
+		RecoveredSeq:     rec.lastSeq,
+		SnapshotSeq:      rec.snapSeq,
+		TornTailBytes:    rec.tornBytes,
+	}
+	return e, nil
+}
+
+// dcell pairs the wrapper's stable cell id (the WAL's key) with the inner
+// engine's handle.
+type dcell struct {
+	id    uint64
+	inner engine.Cell
+}
+
+// Name returns "durable/<inner name>".
+func (e *Engine) Name() string { return e.name }
+
+// NewCell allocates the next cell id and substitutes the recovered value
+// for initial when the log knows one. Ids are assigned in creation order —
+// the deterministic-creation-order contract recovery depends on.
+func (e *Engine) NewCell(initial any) engine.Cell {
+	e.mu.Lock()
+	id := uint64(len(e.cells))
+	if v, ok := e.recovered[id]; ok {
+		initial = v.Load()
+	}
+	c := e.inner.NewCell(initial)
+	e.cells = append(e.cells, c)
+	e.mu.Unlock()
+	return &dcell{id: id, inner: c}
+}
+
+// Thread wraps an inner thread with the journaling transaction runner.
+func (e *Engine) Thread(id int) engine.Thread {
+	return &dthread{e: e, inner: e.inner.Thread(id)}
+}
+
+// Stats delegates to the inner engine (snapshot-capture transactions are
+// counted like any other read-only commit).
+func (e *Engine) Stats() engine.Stats { return e.inner.Stats() }
+
+// DurabilityInfo reports the persistence configuration and what recovery
+// found at boot.
+func (e *Engine) DurabilityInfo() engine.DurabilityInfo { return e.info }
+
+// WALSync forces buffered records to stable storage regardless of policy.
+func (e *Engine) WALSync() error { return e.log.Sync() }
+
+// WALClose flushes, syncs and closes the log after waiting out any
+// in-flight compaction. The engine stays readable; update transactions fail
+// from here on. Idempotent.
+func (e *Engine) WALClose() error {
+	e.compactWG.Wait()
+	return e.log.Close()
+}
+
+// Crashed returns the sticky crash error, or nil. After a crashpoint or
+// I/O error the in-memory engine may be ahead of the disk image, so every
+// transaction is refused; discard the engine and Wrap a fresh one over the
+// same directory.
+func (e *Engine) Crashed() error { return e.log.Err() }
+
+// maybeCompact starts a background snapshot when enough redo bytes
+// accumulated since the last one (single-flight).
+func (e *Engine) maybeCompact() {
+	if e.opt.SnapshotBytes < 0 || e.bytesSince.Load() < e.opt.SnapshotBytes {
+		return
+	}
+	if !e.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	e.compactWG.Add(1)
+	go func() {
+		defer e.compactWG.Done()
+		defer e.compacting.Store(false)
+		e.compact()
+	}()
+}
+
+// compact captures a consistent snapshot and installs it. The capture is
+// one read-only inner transaction over the ticket cell and every data cell:
+// serializability makes the ticket value s the exact watermark of the
+// captured state (every commit ≤ s is in it, nothing above s is). Cells can
+// be created concurrently, so after the capture returns the cell count is
+// re-checked: if it grew, a commit ≤ s could have written a cell the
+// capture missed (its NewCell, which appends under mu, happened before that
+// commit, which happened before the capture returned — so the growth is
+// visible here), and the capture retries over the larger set. Compaction is
+// an optimization, so after bounded retries it simply gives up until the
+// next trigger.
+func (e *Engine) compact() {
+	if e.log.Err() != nil {
+		return
+	}
+	e.snapOnce.Do(func() { e.snapThread = e.inner.Thread(snapThreadID) })
+	for try := 0; try < 8; try++ {
+		e.mu.Lock()
+		n := len(e.cells)
+		cells := make([]engine.Cell, n)
+		copy(cells, e.cells)
+		e.mu.Unlock()
+
+		var watermark int64
+		vals := make([]val.Value, n)
+		err := e.snapThread.RunReadOnly(func(tx engine.Txn) error {
+			s, err := engine.Get[int64](tx, e.seqCell)
+			if err != nil {
+				return err
+			}
+			watermark = s
+			for i, c := range cells {
+				v, err := tx.Read(c)
+				if err != nil {
+					return err
+				}
+				vals[i] = val.OfAny(v)
+			}
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		grown := len(e.cells) > n
+		e.mu.Unlock()
+		if grown {
+			continue
+		}
+
+		entries := make([]writeEntry, 0, n)
+		for i, v := range vals {
+			if !EncodableValue(v) {
+				// A cell was created with a non-serializable initial and
+				// never overwritten; it cannot be snapshotted, so keep
+				// replaying the log instead.
+				return
+			}
+			entries = append(entries, writeEntry{id: uint64(i), v: v})
+		}
+		// Recovered cells the application has not re-created yet still
+		// belong to the durable state: fold them in so compaction never
+		// drops them.
+		for id, v := range e.recovered {
+			if id >= uint64(n) {
+				entries = append(entries, writeEntry{id: id, v: v})
+			}
+		}
+		if e.log.WriteSnapshot(uint64(watermark), entries) == nil {
+			e.bytesSince.Store(0)
+		}
+		return
+	}
+}
+
+// dthread is the journaling thread wrapper: it runs the caller's closure
+// over a journaling transaction, and after the inner commit hands the redo
+// record to the log sequencer.
+type dthread struct {
+	e       *Engine
+	inner   engine.Thread
+	tx      dtxn
+	scratch []byte
+}
+
+func (t *dthread) ID() int { return t.inner.ID() }
+
+// Attempts implements engine.AttemptCounter by delegation.
+func (t *dthread) Attempts() uint64 {
+	if ac, ok := t.inner.(engine.AttemptCounter); ok {
+		return ac.Attempts()
+	}
+	return 0
+}
+
+var framePad [frameHeaderLen]byte
+
+func (t *dthread) Run(fn func(engine.Txn) error) error {
+	if err := t.e.log.Err(); err != nil {
+		return err
+	}
+	tx := &t.tx
+	err := t.inner.Run(func(itx engine.Txn) error {
+		tx.reset(t.e, itx)
+		return fn(tx)
+	})
+	if err != nil {
+		return err
+	}
+	if tx.seq == 0 {
+		return nil // no writes: nothing to journal
+	}
+	// The inner commit succeeded; the record MUST reach the sequencer, or
+	// every later ticket waits forever. Encoding cannot fail here (Write
+	// screened every payload), so an error is an internal invariant break:
+	// wedge the log so waiters wake instead of hanging.
+	b := append(t.scratch[:0], framePad[:]...)
+	b, encErr := appendCommitPayload(b, tx.seq, tx.writes)
+	t.scratch = b[:0]
+	if encErr != nil {
+		t.e.log.mu.Lock()
+		t.e.log.fail(fmt.Errorf("durable: committed payload became unencodable: %w", encErr))
+		t.e.log.mu.Unlock()
+		return encErr
+	}
+	n, err := t.e.log.Commit(tx.seq, b)
+	if err != nil {
+		return err
+	}
+	t.e.bytesSince.Add(n)
+	t.e.maybeCompact()
+	return nil
+}
+
+func (t *dthread) RunReadOnly(fn func(engine.Txn) error) error {
+	if err := t.e.log.Err(); err != nil {
+		return err
+	}
+	tx := &t.tx
+	return t.inner.RunReadOnly(func(itx engine.Txn) error {
+		tx.reset(t.e, itx)
+		return fn(tx)
+	})
+}
+
+// dtxn is the journaling transaction: reads pass through; writes screen the
+// payload for WAL-serializability, take the commit ticket on first use, and
+// buffer the redo entry.
+type dtxn struct {
+	e      *Engine
+	itx    engine.Txn
+	iint   engine.IntTxn // itx's lane, nil if absent
+	seq    uint64
+	writes []writeEntry
+}
+
+func (t *dtxn) reset(e *Engine, itx engine.Txn) {
+	t.e = e
+	t.itx = itx
+	t.iint, _ = itx.(engine.IntTxn)
+	t.seq = 0
+	t.writes = t.writes[:0]
+}
+
+// ticket read-increments the sequence cell inside the transaction — the
+// serialization-order ticket (see the package comment).
+func (t *dtxn) ticket() error {
+	if t.seq != 0 {
+		return nil
+	}
+	// Refuse before the inner engine can commit: after a crash the memory
+	// image is untrustworthy, and after an orderly close an update would
+	// commit in memory with no journal entry.
+	if err := t.e.log.usable(); err != nil {
+		return err
+	}
+	s, err := engine.Get[int64](t.itx, t.e.seqCell)
+	if err != nil {
+		return err
+	}
+	if err := engine.Set(t.itx, t.e.seqCell, s+1); err != nil {
+		return err
+	}
+	t.seq = uint64(s) + 1
+	return nil
+}
+
+func (t *dtxn) Read(c engine.Cell) (any, error) {
+	return t.itx.Read(c.(*dcell).inner)
+}
+
+func (t *dtxn) Write(c engine.Cell, v any) error {
+	dc := c.(*dcell)
+	w := val.OfAny(v)
+	if !EncodableValue(w) {
+		return fmt.Errorf("%w: %T", ErrUnsupportedPayload, v)
+	}
+	if err := t.ticket(); err != nil {
+		return err
+	}
+	if err := t.itx.Write(dc.inner, v); err != nil {
+		return err
+	}
+	t.writes = append(t.writes, writeEntry{id: dc.id, v: w})
+	return nil
+}
+
+func (t *dtxn) ReadInt(c engine.Cell) (int64, bool, error) {
+	if t.iint == nil {
+		return 0, false, nil
+	}
+	return t.iint.ReadInt(c.(*dcell).inner)
+}
+
+func (t *dtxn) WriteInt(c engine.Cell, v int64) error {
+	dc := c.(*dcell)
+	if err := t.ticket(); err != nil {
+		return err
+	}
+	if t.iint == nil {
+		// Lane writes have canonical dynamic type int; mirror that through
+		// the boxed fallback.
+		if err := t.itx.Write(dc.inner, int(v)); err != nil {
+			return err
+		}
+	} else if err := t.iint.WriteInt(dc.inner, v); err != nil {
+		return err
+	}
+	t.writes = append(t.writes, writeEntry{id: dc.id, v: val.OfInt(int(v))})
+	return nil
+}
+
+func (t *dtxn) UpdateInt(c engine.Cell, f func(int64) int64) (bool, error) {
+	n, ok, err := t.ReadInt(c)
+	if !ok || err != nil {
+		return ok, err
+	}
+	return true, t.WriteInt(c, f(n))
+}
+
+// Wrapped lists the inner backends registered as "durable/<name>" wrappers.
+var Wrapped = []string{"glock", "lsa/shared", "norec"}
+
+func init() {
+	for _, base := range Wrapped {
+		base := base
+		info, ok := engine.Describe(base)
+		if !ok {
+			panic(fmt.Sprintf("durable: base engine %q not registered", base))
+		}
+		caps := info.Capabilities
+		caps.Durable = true
+		caps.Tunables = append(append([]string{}, caps.Tunables...), "wal", "fsync", "snapshot")
+		engine.Register("durable/"+base, engine.Info{
+			Summary:      "recoverable " + base + ": redo WAL + compacting snapshot, crash recovery on boot",
+			Capabilities: caps,
+		}, func(o engine.Options) (engine.Engine, error) {
+			inner, err := engine.New(base, o)
+			if err != nil {
+				return nil, err
+			}
+			return Wrap(inner, Options{
+				Dir:           o.WALDir,
+				Fsync:         o.Fsync,
+				SnapshotBytes: o.SnapshotBytes,
+			})
+		})
+	}
+}

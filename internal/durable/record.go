@@ -1,0 +1,302 @@
+// Redo-record and snapshot frame encoding for the write-ahead log.
+//
+// Every frame on disk is length-prefixed and CRC-framed:
+//
+//	[u32 len][u32 crc32(payload)][payload]
+//
+// both fixed fields little-endian, crc over the payload bytes only. The
+// payload's first byte is the record type: 'C' for a commit redo record,
+// 'S' for a snapshot. A commit payload is
+//
+//	'C' | uvarint seq | uvarint nwrites | nwrites × (uvarint cellID, value)
+//
+// and a snapshot payload is
+//
+//	'S' | uvarint watermarkSeq | uvarint ncells | ncells × (uvarint cellID, value)
+//
+// Values carry a one-byte kind tag ahead of a kind-specific body; only
+// WAL-serializable payloads are representable (the val numeric lane plus
+// nil, bool, string, float64 and []byte — see EncodableValue). The frame
+// reader distinguishes three outcomes callers treat differently: a clean
+// end of file, a torn frame (short read or CRC mismatch — recovery
+// truncates it when it is the log's final frame), and a malformed payload
+// inside a valid frame (always a hard error).
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/val"
+)
+
+const (
+	recCommit   = 'C'
+	recSnapshot = 'S'
+
+	frameHeaderLen = 8
+	// maxFrameLen bounds a frame header's length field; anything larger is
+	// treated as a torn/corrupt frame rather than a giant allocation.
+	maxFrameLen = 1 << 28
+)
+
+// Value kind tags on disk.
+const (
+	tagInt     = 'i' // Go int, varint body
+	tagInt64   = 'I' // int64, varint body
+	tagNil     = 'n' // no body
+	tagFalse   = '0' // no body
+	tagTrue    = '1' // no body
+	tagString  = 's' // uvarint len + bytes
+	tagFloat64 = 'f' // 8-byte little-endian IEEE 754 bits
+	tagBytes   = 'y' // uvarint len + bytes
+)
+
+// ErrUnsupportedPayload reports a transactional write whose payload the WAL
+// cannot serialize. Durable engines reject such writes at Write time, before
+// anything commits.
+var ErrUnsupportedPayload = errors.New("durable: payload type not WAL-serializable")
+
+// errTorn marks a frame that ends early or fails its CRC — recoverable by
+// truncation when it is the final frame of the log.
+var errTorn = errors.New("durable: torn frame")
+
+// EncodableValue reports whether v can be carried in a redo record: the
+// numeric lane, or a boxed nil, bool, string, float64 or []byte.
+func EncodableValue(v val.Value) bool {
+	if v.IsNum() {
+		return true
+	}
+	switch v.Load().(type) {
+	case nil, bool, string, float64, []byte:
+		return true
+	}
+	return false
+}
+
+// appendValue appends v's tagged encoding to b. It returns an error wrapping
+// ErrUnsupportedPayload for payloads outside the serializable set.
+func appendValue(b []byte, v val.Value) ([]byte, error) {
+	if n, ok := v.AsInt64(); ok {
+		if v.Kind() == val.KindInt {
+			b = append(b, tagInt)
+		} else {
+			b = append(b, tagInt64)
+		}
+		return binary.AppendVarint(b, n), nil
+	}
+	switch x := v.Load().(type) {
+	case nil:
+		return append(b, tagNil), nil
+	case bool:
+		if x {
+			return append(b, tagTrue), nil
+		}
+		return append(b, tagFalse), nil
+	case string:
+		b = append(b, tagString)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		return append(b, x...), nil
+	case float64:
+		b = append(b, tagFloat64)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(x)), nil
+	case []byte:
+		b = append(b, tagBytes)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		return append(b, x...), nil
+	default:
+		return b, fmt.Errorf("%w: %T", ErrUnsupportedPayload, x)
+	}
+}
+
+// decodeValue consumes one tagged value from b, returning it and the rest.
+func decodeValue(b []byte) (val.Value, []byte, error) {
+	if len(b) == 0 {
+		return val.Value{}, nil, errors.New("durable: truncated value")
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tagInt, tagInt64:
+		n, w := binary.Varint(b)
+		if w <= 0 {
+			return val.Value{}, nil, errors.New("durable: bad varint value")
+		}
+		if tag == tagInt {
+			return val.OfInt(int(n)), b[w:], nil
+		}
+		return val.OfInt64(n), b[w:], nil
+	case tagNil:
+		return val.OfAny(nil), b, nil
+	case tagFalse:
+		return val.OfAny(false), b, nil
+	case tagTrue:
+		return val.OfAny(true), b, nil
+	case tagString, tagBytes:
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b[w:])) < n {
+			return val.Value{}, nil, errors.New("durable: truncated string/bytes value")
+		}
+		body := b[w : w+int(n)]
+		if tag == tagString {
+			return val.OfAny(string(body)), b[w+int(n):], nil
+		}
+		cp := make([]byte, n)
+		copy(cp, body)
+		return val.OfAny(cp), b[int(n)+w:], nil
+	case tagFloat64:
+		if len(b) < 8 {
+			return val.Value{}, nil, errors.New("durable: truncated float64 value")
+		}
+		return val.OfAny(math.Float64frombits(binary.LittleEndian.Uint64(b))), b[8:], nil
+	default:
+		return val.Value{}, nil, fmt.Errorf("durable: unknown value tag %q", tag)
+	}
+}
+
+// writeEntry is one cell write inside a commit, in program order (replay
+// applies entries in order, so later writes to the same cell win, exactly as
+// they did transactionally).
+type writeEntry struct {
+	id uint64
+	v  val.Value
+}
+
+// appendCommitPayload appends the 'C' payload for (seq, writes) to b.
+func appendCommitPayload(b []byte, seq uint64, writes []writeEntry) ([]byte, error) {
+	b = append(b, recCommit)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(writes)))
+	var err error
+	for _, w := range writes {
+		b = binary.AppendUvarint(b, w.id)
+		if b, err = appendValue(b, w.v); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+// decodeCommitPayload parses a 'C' payload (type byte included).
+func decodeCommitPayload(b []byte) (seq uint64, writes []writeEntry, err error) {
+	if len(b) == 0 || b[0] != recCommit {
+		return 0, nil, errors.New("durable: not a commit record")
+	}
+	b = b[1:]
+	seq, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, nil, errors.New("durable: bad commit seq")
+	}
+	b = b[w:]
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, nil, errors.New("durable: bad commit write count")
+	}
+	b = b[w:]
+	writes = make([]writeEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, w := binary.Uvarint(b)
+		if w <= 0 {
+			return 0, nil, errors.New("durable: bad commit cell id")
+		}
+		var v val.Value
+		v, b, err = decodeValue(b[w:])
+		if err != nil {
+			return 0, nil, err
+		}
+		writes = append(writes, writeEntry{id: id, v: v})
+	}
+	if len(b) != 0 {
+		return 0, nil, errors.New("durable: trailing bytes in commit record")
+	}
+	return seq, writes, nil
+}
+
+// appendSnapshotPayload appends the 'S' payload for a snapshot at watermark
+// seq holding entries (sorted by caller for deterministic bytes).
+func appendSnapshotPayload(b []byte, seq uint64, entries []writeEntry) ([]byte, error) {
+	b = append(b, recSnapshot)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	var err error
+	for _, e := range entries {
+		b = binary.AppendUvarint(b, e.id)
+		if b, err = appendValue(b, e.v); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+// decodeSnapshotPayload parses an 'S' payload into the watermark and a
+// cellID → value map.
+func decodeSnapshotPayload(b []byte) (seq uint64, values map[uint64]val.Value, err error) {
+	if len(b) == 0 || b[0] != recSnapshot {
+		return 0, nil, errors.New("durable: not a snapshot record")
+	}
+	b = b[1:]
+	seq, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, nil, errors.New("durable: bad snapshot watermark")
+	}
+	b = b[w:]
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, nil, errors.New("durable: bad snapshot cell count")
+	}
+	b = b[w:]
+	values = make(map[uint64]val.Value, n)
+	for i := uint64(0); i < n; i++ {
+		id, w := binary.Uvarint(b)
+		if w <= 0 {
+			return 0, nil, errors.New("durable: bad snapshot cell id")
+		}
+		var v val.Value
+		v, b, err = decodeValue(b[w:])
+		if err != nil {
+			return 0, nil, err
+		}
+		values[id] = v
+	}
+	if len(b) != 0 {
+		return 0, nil, errors.New("durable: trailing bytes in snapshot record")
+	}
+	return seq, values, nil
+}
+
+// frameAround prefixes payload (built at b[frameHeaderLen:]) with its length
+// and CRC header in place. b must have been built by appending the payload
+// after frameHeaderLen reserved bytes.
+func frameAround(b []byte) []byte {
+	payload := b[frameHeaderLen:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
+	return b
+}
+
+// readFrame reads one frame from r. It returns io.EOF at a clean end of
+// input and an error wrapping errTorn for a short frame or CRC mismatch.
+func readFrame(r io.Reader) (payload []byte, frameLen int64, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("%w: short frame header: %v", errTorn, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrameLen {
+		return nil, 0, fmt.Errorf("%w: implausible frame length %d", errTorn, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("%w: short frame payload: %v", errTorn, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", errTorn, want, got)
+	}
+	return payload, frameHeaderLen + int64(n), nil
+}

@@ -1,0 +1,577 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/val"
+)
+
+// TestValueCodecRoundTrip: every WAL-serializable payload round-trips with
+// its exact dynamic type; unsupported payloads are rejected at encode time.
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []val.Value{
+		val.OfInt(42), val.OfInt(-7), val.OfInt(0),
+		val.OfInt64(1 << 40), val.OfInt64(-9),
+		val.OfAny(nil), val.OfAny(true), val.OfAny(false),
+		val.OfAny("hello"), val.OfAny(""),
+		val.OfAny(3.25), val.OfAny([]byte{1, 2, 3}), val.OfAny([]byte{}),
+	}
+	var b []byte
+	for _, v := range vals {
+		var err error
+		if b, err = appendValue(b, v); err != nil {
+			t.Fatalf("appendValue(%v): %v", v.Load(), err)
+		}
+	}
+	rest := b
+	for _, want := range vals {
+		var got val.Value
+		var err error
+		got, rest, err = decodeValue(rest)
+		if err != nil {
+			t.Fatalf("decodeValue: %v", err)
+		}
+		switch w := want.Load().(type) {
+		case []byte:
+			g, ok := got.Load().([]byte)
+			if !ok || string(g) != string(w) {
+				t.Errorf("round trip %v → %v", w, got.Load())
+			}
+		default:
+			if got.Load() != want.Load() {
+				t.Errorf("round trip %#v → %#v", want.Load(), got.Load())
+			}
+		}
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes after decode", len(rest))
+	}
+
+	type oddball struct{ n int }
+	if _, err := appendValue(nil, val.OfAny(oddball{1})); !errors.Is(err, ErrUnsupportedPayload) {
+		t.Errorf("struct payload: err = %v, want ErrUnsupportedPayload", err)
+	}
+	if EncodableValue(val.OfAny(oddball{1})) {
+		t.Error("EncodableValue(struct) = true")
+	}
+	if !EncodableValue(val.OfInt(1)) || !EncodableValue(val.OfAny("s")) {
+		t.Error("EncodableValue rejected a serializable payload")
+	}
+}
+
+// newTestEngine wraps a fresh base engine over dir with fsync=always (the
+// crisp policy for crash tests: acked ⇔ synced) and compaction disabled
+// unless opt overrides.
+func newTestEngine(t *testing.T, base, dir string, opt Options) *Engine {
+	t.Helper()
+	if opt.Fsync == "" {
+		opt.Fsync = FsyncAlways
+	}
+	if opt.SnapshotBytes == 0 {
+		opt.SnapshotBytes = -1
+	}
+	opt.Dir = dir
+	e, err := Wrap(engine.MustNew(base, engine.Options{}), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// bankCells creates the standard three-cell fixture: two 1000-unit accounts
+// and a commit counter.
+func bankCells(e *Engine) (a, b, c engine.Cell) {
+	return e.NewCell(1000), e.NewCell(1000), e.NewCell(0)
+}
+
+// transfer runs one conserved-sum step: a−1, b+1, counter=i.
+func transfer(th engine.Thread, a, b, c engine.Cell, i int) error {
+	return th.Run(func(tx engine.Txn) error {
+		if err := engine.Update(tx, a, func(n int) int { return n - 1 }); err != nil {
+			return err
+		}
+		if err := engine.Update(tx, b, func(n int) int { return n + 1 }); err != nil {
+			return err
+		}
+		return engine.Set(tx, c, i)
+	})
+}
+
+// readState recovers (a, b, counter) from a WAL directory by scanning it
+// directly — no engine involved.
+func readState(t *testing.T, dir string) (a, b, c int, rec *recovery) {
+	t.Helper()
+	rec, err := recoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(id uint64) int {
+		v, ok := rec.values[id]
+		if !ok {
+			t.Fatalf("cell %d missing from recovery", id)
+		}
+		n, ok := v.Load().(int)
+		if !ok {
+			t.Fatalf("cell %d holds %T, want int", id, v.Load())
+		}
+		return n
+	}
+	return get(0), get(1), get(2), rec
+}
+
+// TestTornFinalRecordEveryTruncationPoint drives the after-partial-record
+// crashpoint through every possible cut of the final frame: recovery must
+// truncate the torn tail (reporting its size) and restore exactly the
+// acknowledged prefix, for every cut.
+func TestTornFinalRecordEveryTruncationPoint(t *testing.T) {
+	// Probe the frame length once: a cut far past the end clamps to len−1.
+	frameLen := func() int {
+		dir := t.TempDir()
+		crash := &Crashpoints{AfterPartialRecord: true, PartialBytes: 1 << 20}
+		e := newTestEngine(t, "norec", dir, Options{Crash: crash})
+		th := e.Thread(0)
+		a, b, c := bankCells(e)
+		if err := transfer(th, a, b, c, 1); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crashpoint transfer: err = %v, want ErrCrashed", err)
+		}
+		rec, err := recoverDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int(rec.tornBytes) + 1
+	}()
+	if frameLen < frameHeaderLen+3 {
+		t.Fatalf("implausible probed frame length %d", frameLen)
+	}
+
+	cuts := make([]int, 0, frameLen)
+	for cut := 0; cut < frameLen; cut++ {
+		cuts = append(cuts, cut)
+	}
+	if testing.Short() {
+		// Keep the boundary cuts (empty tail, torn header, torn payload,
+		// one-byte-short) and thin the middle.
+		cuts = []int{0, 1, frameHeaderLen - 1, frameHeaderLen, frameHeaderLen + 1, frameLen / 2, frameLen - 2, frameLen - 1}
+	}
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		crash := &Crashpoints{}
+		e := newTestEngine(t, "norec", dir, Options{Crash: crash})
+		th := e.Thread(0)
+		a, b, c := bankCells(e)
+		for i := 1; i <= 2; i++ {
+			if err := transfer(th, a, b, c, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crash.mu.Lock()
+		crash.AfterPartialRecord = true
+		crash.PartialBytes = cut
+		crash.mu.Unlock()
+		if err := transfer(th, a, b, c, 3); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("cut %d: err = %v, want ErrCrashed", cut, err)
+		}
+		// The wedged engine refuses everything from here.
+		if err := th.Run(func(tx engine.Txn) error { return nil }); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("cut %d: post-crash Run err = %v, want ErrCrashed", cut, err)
+		}
+
+		av, bv, cv, rec := readState(t, dir)
+		if av+bv != 2000 {
+			t.Errorf("cut %d: sum %d+%d, want 2000", cut, av, bv)
+		}
+		if cv != 2 || rec.commits != 2 || rec.lastSeq != 2 {
+			t.Errorf("cut %d: recovered counter=%d commits=%d lastSeq=%d, want 2/2/2", cut, cv, rec.commits, rec.lastSeq)
+		}
+		if rec.tornBytes != int64(cut) {
+			t.Errorf("cut %d: tornBytes = %d, want %d", cut, rec.tornBytes, cut)
+		}
+		// Recovery truncated the torn tail: a second recovery sees a clean
+		// log with nothing more to truncate.
+		if _, _, _, rec2 := readState(t, dir); rec2.tornBytes != 0 || rec2.commits != 2 {
+			t.Errorf("cut %d: second recovery tornBytes=%d commits=%d, want 0/2", cut, rec2.tornBytes, rec2.commits)
+		}
+	}
+}
+
+// TestAfterRecordBeforeSync: the full record reached the OS before the
+// crash, so in-process recovery sees it — recovering an unacknowledged
+// commit is legal (more than acked, never less).
+func TestAfterRecordBeforeSync(t *testing.T) {
+	dir := t.TempDir()
+	crash := &Crashpoints{}
+	e := newTestEngine(t, "norec", dir, Options{Crash: crash})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	for i := 1; i <= 2; i++ {
+		if err := transfer(th, a, b, c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crash.mu.Lock()
+	crash.AfterRecordBeforeSync = true
+	crash.mu.Unlock()
+	if err := transfer(th, a, b, c, 3); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	av, bv, cv, rec := readState(t, dir)
+	if av+bv != 2000 {
+		t.Errorf("sum %d+%d, want 2000", av, bv)
+	}
+	if cv != 3 || rec.commits != 3 || rec.tornBytes != 0 {
+		t.Errorf("counter=%d commits=%d torn=%d, want 3/3/0", cv, rec.commits, rec.tornBytes)
+	}
+}
+
+// TestCRCCorruptionMidLog: a corrupt frame in a non-final segment is hard
+// corruption — recovery stops at the bad frame and reports it instead of
+// guessing past it.
+func TestCRCCorruptionMidLog(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes = 1: every commit rotates, so each record lands in its
+	// own segment and a trailing empty segment is always active.
+	e := newTestEngine(t, "norec", dir, Options{SegmentBytes: 1})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	for i := 1; i <= 4; i++ {
+		if err := transfer(th, a, b, c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want ≥ 3 segments, got %d", len(segs))
+	}
+	// Flip one payload byte in the second segment (mid-log).
+	corrupt(t, segs[1].path, int64(len(segmentMagic)+frameHeaderLen+2))
+	_, err = recoverDir(dir)
+	if err == nil || !strings.Contains(err.Error(), "mid-log") {
+		t.Fatalf("recoverDir = %v, want mid-log corruption error", err)
+	}
+}
+
+// TestCRCCorruptionFinalSegment: a corrupt frame in the final segment is
+// treated as a torn tail — truncated and reported, never refused.
+func TestCRCCorruptionFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	for i := 1; i <= 4; i++ {
+		if err := transfer(th, a, b, c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	st, err := os.Stat(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the final frame's payload. Frames are equal
+	// length here (identical shape), so the last frame starts at
+	// size − (size − magic)/4.
+	frameLen := (st.Size() - int64(len(segmentMagic))) / 4
+	corrupt(t, segs[0].path, st.Size()-frameLen+frameHeaderLen+1)
+
+	av, bv, cv, rec := readState(t, dir)
+	if av+bv != 2000 || cv != 3 {
+		t.Errorf("recovered a=%d b=%d counter=%d, want sum 2000 counter 3", av, bv, cv)
+	}
+	if rec.commits != 3 || rec.tornBytes != frameLen {
+		t.Errorf("commits=%d tornBytes=%d, want 3/%d", rec.commits, rec.tornBytes, frameLen)
+	}
+}
+
+func corrupt(t *testing.T, path string, offset int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var one [1]byte
+	if _, err := f.ReadAt(one[:], offset); err != nil {
+		t.Fatal(err)
+	}
+	one[0] ^= 0xff
+	if _, err := f.WriteAt(one[:], offset); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyLogBoot: an empty (or missing) directory recovers to the empty
+// state and the engine is immediately usable.
+func TestEmptyLogBoot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist", "yet")
+	e := newTestEngine(t, "norec", dir, Options{})
+	if info := e.DurabilityInfo(); info.RecoveredCommits != 0 || info.RecoveredSeq != 0 || info.SnapshotSeq != 0 {
+		t.Errorf("empty boot info = %+v, want zeroes", info)
+	}
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	if err := transfer(th, a, b, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, cv, _ := readState(t, dir); cv != 1 {
+		t.Errorf("counter = %d, want 1", cv)
+	}
+}
+
+// TestSnapshotOnlyBoot: with every segment gone, boot restores the full
+// state from the snapshot alone, reporting zero replayed commits, and the
+// engine keeps committing from the watermark.
+func TestSnapshotOnlyBoot(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	for i := 1; i <= 5; i++ {
+		if err := transfer(th, a, b, c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.compact() // deterministic synchronous snapshot at watermark 5
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := os.Remove(s.path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	av, bv, cv, rec := readState(t, dir)
+	if av != 995 || bv != 1005 || cv != 5 {
+		t.Errorf("snapshot state = %d/%d/%d, want 995/1005/5", av, bv, cv)
+	}
+	if rec.commits != 0 || rec.snapSeq != 5 || rec.lastSeq != 5 {
+		t.Errorf("commits=%d snapSeq=%d lastSeq=%d, want 0/5/5", rec.commits, rec.snapSeq, rec.lastSeq)
+	}
+
+	// And a real boot on top continues the sequence.
+	e2 := newTestEngine(t, "norec", dir, Options{})
+	if info := e2.DurabilityInfo(); info.SnapshotSeq != 5 || info.RecoveredCommits != 0 {
+		t.Errorf("boot info = %+v, want snapshot_seq 5, 0 replayed", info)
+	}
+	th2 := e2.Thread(0)
+	a2, b2, c2 := bankCells(e2)
+	if err := transfer(th2, a2, b2, c2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, cv, rec := readState(t, dir); cv != 6 || rec.lastSeq != 6 {
+		t.Errorf("after continue: counter=%d lastSeq=%d, want 6/6", cv, rec.lastSeq)
+	}
+}
+
+// TestSnapshotCompactionTruncatesSegments: compaction deletes every segment
+// the watermark covers, and snapshot-then-tail recovery replays only the
+// records above the watermark.
+func TestSnapshotCompactionTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{SegmentBytes: 1})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	for i := 1; i <= 4; i++ {
+		if err := transfer(th, a, b, c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := listSegments(dir)
+	e.compact()
+	after, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Errorf("compaction kept %d of %d segments", len(after), len(before))
+	}
+	// Commits continue into the tail; recovery folds snapshot + tail.
+	for i := 5; i <= 6; i++ {
+		if err := transfer(th, a, b, c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	av, bv, cv, rec := readState(t, dir)
+	if av+bv != 2000 || cv != 6 || rec.snapSeq != 4 || rec.lastSeq != 6 || rec.commits != 2 {
+		t.Errorf("got a=%d b=%d c=%d snap=%d last=%d commits=%d, want sum 2000, c 6, snap 4, last 6, commits 2",
+			av, bv, cv, rec.snapSeq, rec.lastSeq, rec.commits)
+	}
+}
+
+// TestSnapshotRenameCrashpoints: a compaction interrupted before the rename
+// leaves the old state intact (tmp ignored and cleaned); interrupted after
+// the rename but before truncation leaves stale segments whose records
+// recovery must skip, not re-apply.
+func TestSnapshotRenameCrashpoints(t *testing.T) {
+	for _, point := range []string{CrashMidSnapshotRename, CrashAfterSnapshotRename} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			crash := &Crashpoints{}
+			e := newTestEngine(t, "norec", dir, Options{Crash: crash, SegmentBytes: 1})
+			th := e.Thread(0)
+			a, b, c := bankCells(e)
+			for i := 1; i <= 4; i++ {
+				if err := transfer(th, a, b, c, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			crash.mu.Lock()
+			switch point {
+			case CrashMidSnapshotRename:
+				crash.MidSnapshotRename = true
+			case CrashAfterSnapshotRename:
+				crash.AfterSnapshotRename = true
+			}
+			crash.mu.Unlock()
+			e.compact()
+			if crash.Fired() != point {
+				t.Fatalf("crashpoint %s did not fire", point)
+			}
+			if err := th.Run(func(tx engine.Txn) error { return nil }); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("post-crash Run err = %v, want ErrCrashed", err)
+			}
+
+			av, bv, cv, rec := readState(t, dir)
+			if av+bv != 2000 || cv != 4 || rec.lastSeq != 4 {
+				t.Errorf("recovered a=%d b=%d c=%d lastSeq=%d, want sum 2000, c 4, last 4", av, bv, cv, rec.lastSeq)
+			}
+			switch point {
+			case CrashMidSnapshotRename:
+				if rec.snapSeq != 0 || rec.commits != 4 {
+					t.Errorf("snapSeq=%d commits=%d, want 0/4 (snapshot never installed)", rec.snapSeq, rec.commits)
+				}
+				if _, err := os.Stat(filepath.Join(dir, snapshotTmp)); !errors.Is(err, os.ErrNotExist) {
+					t.Errorf("leftover snapshot.tmp not cleaned: %v", err)
+				}
+			case CrashAfterSnapshotRename:
+				// Snapshot live, stale segments still on disk: their
+				// records are ≤ the watermark and must be skipped, not
+				// re-applied (re-applying absolute values would regress
+				// nothing here, but double-counting commits would show).
+				if rec.snapSeq != 4 || rec.commits != 0 {
+					t.Errorf("snapSeq=%d commits=%d, want 4/0 (stale segments skipped)", rec.snapSeq, rec.commits)
+				}
+			}
+		})
+	}
+}
+
+// TestSequenceGapIsCorruption: a log whose dense seq prefix is broken (a
+// record deleted mid-stream) must be refused.
+func TestSequenceGapIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{SegmentBytes: 1})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	for i := 1; i <= 3; i++ {
+		if err := transfer(th, a, b, c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the middle record's segment entirely.
+	if err := os.Remove(segs[1].path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recoverDir(dir); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("recoverDir = %v, want sequence-gap error", err)
+	}
+}
+
+// TestUnsupportedPayloadRejectedAtWrite: a non-serializable payload fails
+// the write before anything commits; the transaction aborts cleanly and the
+// engine (and its log) remain fully usable.
+func TestUnsupportedPayloadRejectedAtWrite(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	type blob struct{ x int }
+	err := th.Run(func(tx engine.Txn) error {
+		if err := engine.Set(tx, a, 5); err != nil {
+			return err
+		}
+		return tx.Write(b, blob{9})
+	})
+	if !errors.Is(err, ErrUnsupportedPayload) {
+		t.Fatalf("err = %v, want ErrUnsupportedPayload", err)
+	}
+	if err := transfer(th, a, b, c, 1); err != nil {
+		t.Fatalf("engine unusable after rejected payload: %v", err)
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	av, _, _, rec := readState(t, dir)
+	if av != 999 || rec.commits != 1 {
+		t.Errorf("a=%d commits=%d, want 999/1 (aborted write never journaled)", av, rec.commits)
+	}
+}
+
+// TestWALCloseSemantics: close is idempotent, updates fail afterwards,
+// reads keep working.
+func TestWALCloseSemantics(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{})
+	th := e.Thread(0)
+	a, b, c := bankCells(e)
+	if err := transfer(th, a, b, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WALClose(); err != nil {
+		t.Errorf("second WALClose: %v", err)
+	}
+	var got int
+	if err := th.RunReadOnly(func(tx engine.Txn) error {
+		var err error
+		got, err = engine.Get[int](tx, a)
+		return err
+	}); err != nil || got != 999 {
+		t.Errorf("post-close read = %d, %v; want 999, nil", got, err)
+	}
+	if err := transfer(th, a, b, c, 2); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close update err = %v, want ErrClosed", err)
+	}
+}

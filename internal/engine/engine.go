@@ -385,3 +385,46 @@ type AttemptCounter interface {
 	// the Thread itself.
 	Attempts() uint64
 }
+
+// Durable is the optional persistence capability: an Engine that implements
+// it journals every committed write to a write-ahead log and recovers its
+// state from that log (plus a compacting snapshot) on construction. The
+// internal/durable wrappers are the in-tree implementation; callers that
+// hold only an Engine (the service layer, the harness) reach durability
+// controls through this interface instead of concrete types, mirroring how
+// IntTxn and AttemptCounter are detected.
+type Durable interface {
+	// DurabilityInfo reports the persistence configuration and the
+	// recovery-on-boot outcome. Cheap; callable at any time.
+	DurabilityInfo() DurabilityInfo
+	// WALSync flushes buffered redo records and forces them to stable
+	// storage regardless of the configured fsync policy.
+	WALSync() error
+	// WALClose flushes, syncs and closes the persistence layer. The engine
+	// stays readable in memory, but subsequent update transactions fail.
+	// Call it as the last step of an orderly shutdown, after every session
+	// has drained. Safe to call more than once.
+	WALClose() error
+}
+
+// DurabilityInfo describes a durable engine's persistence configuration and
+// what recovery-on-boot found. It is embedded in service stats and in the
+// bench snapshot's accepted-but-not-required wal telemetry block.
+type DurabilityInfo struct {
+	// WALDir is the log directory (empty for an engine-managed temp dir).
+	WALDir string `json:"wal_dir,omitempty"`
+	// FsyncPolicy is the configured policy: "always", "group" or "never".
+	FsyncPolicy string `json:"fsync_policy"`
+	// RecoveredCommits counts the redo records replayed at boot (snapshot
+	// state excluded — a snapshot-only boot reports 0 here).
+	RecoveredCommits uint64 `json:"recovered_commits"`
+	// RecoveredSeq is the last commit sequence number restored (snapshot
+	// watermark included); new commits continue from RecoveredSeq+1.
+	RecoveredSeq uint64 `json:"recovered_seq"`
+	// SnapshotSeq is the watermark of the snapshot recovery started from
+	// (0 when boot replayed the log alone).
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// TornTailBytes is how many bytes of torn final record recovery
+	// truncated from the log tail (0 for a clean log).
+	TornTailBytes int64 `json:"torn_tail_bytes,omitempty"`
+}

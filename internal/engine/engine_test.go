@@ -159,6 +159,7 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative stripes", Options{Stripes: -8}, "Stripes"},
 		{"negative escalate stripes", Options{EscalateStripes: -1}, "EscalateStripes"},
 		{"negative escalate aborts", Options{EscalateAborts: -1}, "EscalateAborts"},
+		{"unknown fsync policy", Options{Fsync: "sometimes"}, "fsync policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -177,6 +178,8 @@ func TestOptionsValidate(t *testing.T) {
 	good := []Options{
 		{}, {Nodes: 4}, {MaxVersions: 1}, {ShardWindow: 2}, {Stripes: 16},
 		{ContentionManager: "karma"}, {EscalateStripes: 1, EscalateAborts: 1},
+		{Fsync: "always"}, {Fsync: "group"}, {Fsync: "never"},
+		{SnapshotBytes: -1}, {SnapshotBytes: 1 << 20},
 	}
 	for _, opt := range good {
 		if err := opt.Validate(); err != nil {
@@ -196,6 +199,7 @@ func TestBindFlags(t *testing.T) {
 		"-nodes", "4", "-max-versions", "2", "-deviation", "500",
 		"-shard-window", "64", "-words", "1024", "-cm", "karma",
 		"-stripes", "8", "-escalate-stripes", "2", "-escalate-aborts", "5",
+		"-wal", "/tmp/wal", "-fsync", "always", "-snapshot", "4096",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
@@ -204,6 +208,7 @@ func TestBindFlags(t *testing.T) {
 		Nodes: 4, MaxVersions: 2, Deviation: 500, ShardWindow: 64,
 		Words: 1024, ContentionManager: "karma", Stripes: 8,
 		EscalateStripes: 2, EscalateAborts: 5,
+		WALDir: "/tmp/wal", Fsync: "always", SnapshotBytes: 4096,
 	}
 	if !reflect.DeepEqual(o, want) {
 		t.Errorf("parsed options %+v, want %+v", o, want)

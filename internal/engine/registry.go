@@ -51,7 +51,25 @@ type Options struct {
 	// transaction may abort before attempts start escalated. 0 selects the
 	// engine default (3).
 	EscalateAborts int
+	// WALDir is the write-ahead-log directory for the "durable/*" backends.
+	// Empty selects an engine-managed temp directory (durability within the
+	// process run only — benches and tests); recovery-on-boot needs a real
+	// path that survives restarts.
+	WALDir string
+	// Fsync is the durable backends' sync policy: "always" (fsync before
+	// every commit acknowledgment), "group" (acknowledgments wait for a
+	// shared flush with a bounded interval — the default) or "never"
+	// (buffered writes, no fsync; acknowledged commits can be lost).
+	Fsync string
+	// SnapshotBytes is the live-log size that triggers background snapshot
+	// compaction in the durable backends. 0 selects the default (8 MiB);
+	// negative disables automatic compaction.
+	SnapshotBytes int64
 }
+
+// fsyncPolicies are the recognized Options.Fsync values ("" selects the
+// durable backends' default, group).
+var fsyncPolicies = []string{"always", "group", "never"}
 
 // contentionManagers are the recognized Options.ContentionManager names
 // ("" selects the engine default). The lookup itself lives in the LSA
@@ -101,6 +119,19 @@ func (o Options) Validate() error {
 	if o.EscalateAborts < 0 {
 		return fmt.Errorf("engine: EscalateAborts = %d, must be ≥ 1 (or 0 for the default)", o.EscalateAborts)
 	}
+	if o.Fsync != "" {
+		known := false
+		for _, n := range fsyncPolicies {
+			if n == o.Fsync {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("engine: unknown fsync policy %q (known: %s)",
+				o.Fsync, strings.Join(fsyncPolicies, ", "))
+		}
+	}
 	return nil
 }
 
@@ -136,6 +167,9 @@ func (o *Options) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.Stripes, "stripes", o.Stripes, "norec/adaptive stripe count, power of two in [1,64] (0 = default 64)")
 	fs.IntVar(&o.EscalateStripes, "escalate-stripes", o.EscalateStripes, "norec/adaptive touched-stripe escalation threshold (0 = default)")
 	fs.IntVar(&o.EscalateAborts, "escalate-aborts", o.EscalateAborts, "norec/adaptive striped aborts before attempts start escalated (0 = default)")
+	fs.StringVar(&o.WALDir, "wal", o.WALDir, "durable/* write-ahead-log directory (empty = temp dir, no cross-restart recovery)")
+	fs.StringVar(&o.Fsync, "fsync", o.Fsync, "durable/* sync policy: "+strings.Join(fsyncPolicies, "|")+" (empty = group)")
+	fs.Int64Var(&o.SnapshotBytes, "snapshot", o.SnapshotBytes, "durable/* live-log bytes that trigger snapshot compaction (0 = default 8 MiB, < 0 disables)")
 }
 
 // Capabilities declares, at registration time, what an engine's threads and
@@ -153,6 +187,12 @@ type Capabilities struct {
 	// MultiVersion: read-only transactions may be served from older
 	// versions, so long scans do not abort concurrent updates.
 	MultiVersion bool `json:"multi_version"`
+	// Durable: the engine implements the Durable interface — committed
+	// writes are journaled to a write-ahead log and the engine recovers
+	// state from log + snapshot at construction. Durable engines only
+	// accept WAL-serializable payloads (the int lane, nil, bool, string,
+	// float64, []byte); arbitrary boxed structs fail the write.
+	Durable bool `json:"durable,omitempty"`
 	// Tunables are the Options fields the backend consumes, named as the
 	// BindFlags flags ("nodes", "max-versions", "deviation", "shard-window",
 	// "words", "cm", "stripes", "escalate-stripes", "escalate-aborts").

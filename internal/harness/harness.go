@@ -86,6 +86,18 @@ type Result struct {
 	// whole throughput/latency curve; the top-level fields describe the
 	// highest worker count measured.
 	Scaling []ScalingPoint `json:"scaling,omitempty"`
+	// Wal, when the run was measured on a durable engine (engine.Durable),
+	// records which fsync policy was paying the commit-latency tax. Absent
+	// for in-memory engines; snapshots may mix durable and plain records.
+	Wal *WalInfo `json:"wal,omitempty"`
+}
+
+// WalInfo is the durability telemetry of a measured run.
+type WalInfo struct {
+	// Dir is the WAL directory (often a temp dir in benchmarks; informational).
+	Dir string `json:"dir,omitempty"`
+	// FsyncPolicy is the engine's sync policy: "always", "group" or "never".
+	FsyncPolicy string `json:"fsync_policy"`
 }
 
 // ScalingPoint is one worker count of a scaling curve.
@@ -171,6 +183,16 @@ func (r Result) Validate() error {
 		// No cross-check against Latency: the commit and retry probes are
 		// snapshotted back-to-back while workers keep running, so their
 		// counts may skew by in-flight steps.
+	}
+	if r.Wal != nil {
+		switch r.Wal.FsyncPolicy {
+		// Mirrors the engine.Options -fsync domain; a record claiming WAL
+		// telemetry with a policy outside it is stripped or hand-edited.
+		case "always", "group", "never":
+		default:
+			return fmt.Errorf("harness: %s/%s: wal telemetry with unknown fsync policy %q",
+				r.Workload, r.Engine, r.Wal.FsyncPolicy)
+		}
 	}
 	prev := 0
 	for _, p := range r.Scaling {
@@ -302,6 +324,10 @@ func Run(eng engine.Engine, w Workload, opt Options) (Result, error) {
 	if txs > 0 {
 		r.AllocsPerCommit = float64(m1.Mallocs-m0.Mallocs) / float64(txs)
 		r.BytesPerCommit = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(txs)
+	}
+	if d, ok := eng.(engine.Durable); ok {
+		di := d.DurabilityInfo()
+		r.Wal = &WalInfo{Dir: di.WALDir, FsyncPolicy: di.FsyncPolicy}
 	}
 	return r, nil
 }

@@ -1,0 +1,270 @@
+package stmserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The recovery audit: the client-side half of the crash-recovery proof.
+// Each audit connection owns a marker key and transfers value into it one
+// acknowledged unit at a time, remembering exactly how many transfers were
+// acked before the server died. After the server comes back (restarted over
+// the same WAL), the audit asserts that every acknowledged commit survived —
+// marker ≥ baseline + acked — and that the whole keyspace still conserves
+// its sum. cmd/stmload's -recovery-audit flag is a shell over this; the CI
+// crash-recovery job runs it across a real kill -9.
+
+// AuditOptions parameterizes RunRecoveryAudit. Zero values select defaults.
+type AuditOptions struct {
+	// Conns is the number of audit connections (default 4). Each owns one
+	// marker key (key i) and one sink key (key keys/2+i), so Conns must be
+	// ≤ keys/2.
+	Conns int
+	// Window bounds the load phase: if the server has not gone down within
+	// it, the audit fails (default 30s). The kill is external — the audit
+	// only observes it.
+	Window time.Duration
+	// ReconnectTimeout bounds the wait for the restarted server (default 30s).
+	ReconnectTimeout time.Duration
+	// Keys and Initial describe the keyspace. 0 asks the server via INFO
+	// before the load phase; the restarted server must agree (a durable
+	// engine recovers cells by creation order, so a -keys mismatch across
+	// the restart would silently misalign the keyspace).
+	Keys    int
+	Initial int64
+	// ExpectRecovered additionally asserts that the restarted server's
+	// durability stats report at least one recovered commit — the signal
+	// that a WAL replay actually happened.
+	ExpectRecovered bool
+	// SkipSum skips the conserved-sum assertion. Set it when other clients
+	// ran non-transfer traffic against the same keyspace.
+	SkipSum bool
+}
+
+func (o AuditOptions) withDefaults() AuditOptions {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Window <= 0 {
+		o.Window = 30 * time.Second
+	}
+	if o.ReconnectTimeout <= 0 {
+		o.ReconnectTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// AuditReport is the audit's outcome. Err-free completion means every
+// acknowledged transfer was found again after recovery.
+type AuditReport struct {
+	Conns            int           `json:"conns"`
+	Keys             int           `json:"keys"`
+	Acked            uint64        `json:"acked"`
+	PerConn          []uint64      `json:"acked_per_conn"`
+	DownAfter        time.Duration `json:"down_after_ns"`
+	ReconnectAfter   time.Duration `json:"reconnect_after_ns"`
+	Sum              int64         `json:"sum"`
+	WantSum          int64         `json:"want_sum"`
+	RecoveredCommits uint64        `json:"recovered_commits"`
+	RecoveredSeq     uint64        `json:"recovered_seq"`
+}
+
+// infoCall issues INFO and returns (keys, initial).
+func infoCall(c Caller) (int, int64, error) {
+	var resp Response
+	if err := c.Do(&Request{Op: OpInfo}, &resp); err != nil {
+		return 0, 0, fmt.Errorf("stmserve: INFO: %w", err)
+	}
+	if resp.Err != "" || len(resp.Vals) < 2 {
+		return 0, 0, fmt.Errorf("stmserve: INFO: %q (vals %v)", resp.Err, resp.Vals)
+	}
+	return int(resp.Vals[0]), resp.Vals[1], nil
+}
+
+// RunRecoveryAudit loads the server with acknowledged transfers until it
+// goes down, waits for it to come back, and verifies that recovery kept
+// every acked commit. It returns the report alongside any verification
+// failure; a non-nil error means durability was NOT proven.
+func RunRecoveryAudit(dial Dialer, opts AuditOptions) (*AuditReport, error) {
+	opts = opts.withDefaults()
+	rep := &AuditReport{Conns: opts.Conns}
+
+	// Setup: one connection reads the keyspace shape and the per-conn
+	// marker baselines (the WAL dir may hold state from earlier runs, so
+	// markers need not start at Initial).
+	c, err := dial()
+	if err != nil {
+		return rep, fmt.Errorf("stmserve: audit dial: %w", err)
+	}
+	keys, initial, err := infoCall(c)
+	if err != nil {
+		c.Close()
+		return rep, err
+	}
+	if opts.Keys != 0 && opts.Keys != keys {
+		c.Close()
+		return rep, fmt.Errorf("stmserve: audit: server keyspace %d != expected %d", keys, opts.Keys)
+	}
+	if opts.Initial != 0 {
+		initial = opts.Initial
+	}
+	rep.Keys = keys
+	rep.WantSum = int64(keys) * initial
+	if opts.Conns > keys/2 {
+		c.Close()
+		return rep, fmt.Errorf("stmserve: audit: %d conns need %d keys (marker+sink per conn), have %d", opts.Conns, 2*opts.Conns, keys)
+	}
+	baseline := make([]int64, opts.Conns)
+	{
+		req := Request{Op: OpBatchRead}
+		for i := 0; i < opts.Conns; i++ {
+			req.Keys = append(req.Keys, i)
+		}
+		var resp Response
+		if err := c.Do(&req, &resp); err != nil || resp.Err != "" || len(resp.Vals) != opts.Conns {
+			c.Close()
+			return rep, fmt.Errorf("stmserve: audit baseline read: %v %q", err, resp.Err)
+		}
+		copy(baseline, resp.Vals)
+	}
+	c.Close()
+
+	// Load phase: conn i transfers 1 from its sink key into its marker key,
+	// counting only acknowledged commits, until the server dies (transport
+	// or op-level error — ErrClosed on a graceful close counts too).
+	rep.PerConn = make([]uint64, opts.Conns)
+	start := time.Now()
+	deadline := start.Add(opts.Window)
+	var wg sync.WaitGroup
+	died := make([]bool, opts.Conns)
+	for i := 0; i < opts.Conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := dial()
+			if err != nil {
+				died[id] = true
+				return
+			}
+			defer c.Close()
+			req := Request{Op: OpTransfer, Key: keys/2 + id, Key2: id, Val: 1}
+			var resp Response
+			for time.Now().Before(deadline) {
+				if err := c.Do(&req, &resp); err != nil || resp.Err != "" {
+					died[id] = true
+					return
+				}
+				rep.PerConn[id]++
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.DownAfter = time.Since(start)
+	for i, d := range died {
+		rep.Acked += rep.PerConn[i]
+		if !d {
+			return rep, fmt.Errorf("stmserve: audit: server still up after %v window (conn %d never saw it die)", opts.Window, i)
+		}
+	}
+
+	// Reconnect phase: poll until the restarted server answers a PING.
+	reStart := time.Now()
+	c = nil
+	for {
+		cand, err := dial()
+		if err == nil {
+			var resp Response
+			if perr := cand.Do(&Request{Op: OpPing}, &resp); perr == nil && resp.Err == "" {
+				c = cand
+				break
+			}
+			cand.Close()
+		}
+		if time.Since(reStart) > opts.ReconnectTimeout {
+			return rep, fmt.Errorf("stmserve: audit: server did not come back within %v", opts.ReconnectTimeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer c.Close()
+	rep.ReconnectAfter = time.Since(reStart)
+
+	// Verification. The restarted server must present the same keyspace...
+	keys2, _, err := infoCall(c)
+	if err != nil {
+		return rep, err
+	}
+	if keys2 != keys {
+		return rep, fmt.Errorf("stmserve: audit: keyspace changed across restart: %d → %d", keys, keys2)
+	}
+
+	// ...reflect every acknowledged transfer (read-your-committed-writes:
+	// marker i must hold at least baseline + acked; it may hold more when a
+	// commit's ack was lost in flight as the server died)...
+	{
+		req := Request{Op: OpBatchRead}
+		for i := 0; i < opts.Conns; i++ {
+			req.Keys = append(req.Keys, i)
+		}
+		var resp Response
+		if err := c.Do(&req, &resp); err != nil || resp.Err != "" || len(resp.Vals) != opts.Conns {
+			return rep, fmt.Errorf("stmserve: audit marker read: %v %q", err, resp.Err)
+		}
+		for i, got := range resp.Vals {
+			want := baseline[i] + int64(rep.PerConn[i])
+			if got < want {
+				return rep, fmt.Errorf("stmserve: audit: conn %d lost committed transfers: marker %d < baseline %d + acked %d",
+					i, got, baseline[i], rep.PerConn[i])
+			}
+		}
+	}
+
+	// ...and conserve the keyspace sum (transfers move value, never mint it).
+	if !opts.SkipSum {
+		const batch = 256
+		var resp Response
+		req := Request{Op: OpSnapshot}
+		for lo := 0; lo < keys; lo += batch {
+			req.Keys = req.Keys[:0]
+			for k := lo; k < keys && k < lo+batch; k++ {
+				req.Keys = append(req.Keys, k)
+			}
+			if err := c.Do(&req, &resp); err != nil || resp.Err != "" || len(resp.Vals) != len(req.Keys) {
+				return rep, fmt.Errorf("stmserve: audit snapshot [%d,%d): %v %q", lo, lo+len(req.Keys), err, resp.Err)
+			}
+			for _, v := range resp.Vals {
+				rep.Sum += v
+			}
+		}
+		if rep.Sum != rep.WantSum {
+			return rep, fmt.Errorf("stmserve: audit: conserved sum violated: %d != %d (keys %d × initial %d)",
+				rep.Sum, rep.WantSum, keys, initial)
+		}
+	}
+
+	// Durability stats: did the restarted server actually replay a WAL?
+	{
+		var resp Response
+		if err := c.Do(&Request{Op: OpStats}, &resp); err != nil || resp.Err != "" {
+			return rep, fmt.Errorf("stmserve: audit stats: %v %q", err, resp.Err)
+		}
+		var st Stats
+		if err := json.Unmarshal([]byte(resp.Text), &st); err != nil {
+			return rep, fmt.Errorf("stmserve: audit stats decode: %w", err)
+		}
+		if st.Durability != nil {
+			rep.RecoveredCommits = st.Durability.RecoveredCommits
+			rep.RecoveredSeq = st.Durability.RecoveredSeq
+		}
+		if opts.ExpectRecovered {
+			if st.Durability == nil {
+				return rep, fmt.Errorf("stmserve: audit: restarted server reports no durability stats (engine %s not durable?)", st.Engine)
+			}
+			if st.Durability.RecoveredCommits == 0 {
+				return rep, fmt.Errorf("stmserve: audit: restarted server recovered zero commits (acked %d before the crash)", rep.Acked)
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,99 @@
+package stmserve
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+
+	_ "repro/internal/durable"
+)
+
+// TestRecoveryAuditInProcess runs the full audit protocol against an
+// in-process durable service: load, "crash" (close the service and discard
+// it), restart over the same WAL dir, verify. The real-process variant —
+// kill -9 of cmd/stmserve — lives in cmd/stmserve's tests and the CI
+// crash-recovery job; this one proves the protocol logic race-clean.
+func TestRecoveryAuditInProcess(t *testing.T) {
+	dir := t.TempDir()
+	newSvc := func() *Service {
+		t.Helper()
+		eng, err := engine.New("durable/norec", engine.Options{WALDir: dir, Fsync: "always"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := New(eng, Config{Keys: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+
+	var cur atomic.Pointer[Service] // nil while the "server" is down
+	cur.Store(newSvc())
+	dial := func() (Caller, error) {
+		p := cur.Load()
+		if p == nil {
+			return nil, errors.New("server down")
+		}
+		return &sessionCaller{sess: p.Session()}, nil
+	}
+
+	// Crash after a moment of load, stay down briefly, then restart over the
+	// same WAL. Closing the service flushes the WAL, but the audit does not
+	// rely on that: fsync=always makes every acked transfer durable anyway.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		old := cur.Swap(nil)
+		old.Close()
+		time.Sleep(100 * time.Millisecond)
+		cur.Store(newSvc())
+	}()
+
+	rep, err := RunRecoveryAudit(dial, AuditOptions{
+		Conns:            4,
+		Window:           30 * time.Second,
+		ReconnectTimeout: 30 * time.Second,
+		ExpectRecovered:  true,
+	})
+	if err != nil {
+		t.Fatalf("audit failed: %v (report %+v)", err, rep)
+	}
+	if rep.Acked == 0 {
+		t.Fatal("audit acked zero transfers before the crash")
+	}
+	if rep.RecoveredCommits == 0 {
+		t.Fatal("restarted server reported zero recovered commits")
+	}
+	if rep.Sum != rep.WantSum {
+		t.Fatalf("sum %d != want %d", rep.Sum, rep.WantSum)
+	}
+	cur.Load().Close()
+}
+
+// TestRecoveryAuditServerNeverDies pins the failure mode where the kill
+// never happens: the audit must fail loudly instead of reporting success.
+func TestRecoveryAuditServerNeverDies(t *testing.T) {
+	svc := newTestService(t, Config{Keys: 64})
+	dial := ServiceDialer(svc)
+	_, err := RunRecoveryAudit(dial, AuditOptions{
+		Conns:  2,
+		Window: 100 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "still up") {
+		t.Fatalf("want 'still up' failure, got %v", err)
+	}
+}
+
+// TestRecoveryAuditConnsVsKeys pins the marker/sink keyspace precondition.
+func TestRecoveryAuditConnsVsKeys(t *testing.T) {
+	svc := newTestService(t, Config{Keys: 8})
+	defer svc.Close()
+	_, err := RunRecoveryAudit(ServiceDialer(svc), AuditOptions{Conns: 5, Window: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "marker+sink") {
+		t.Fatalf("want conns-vs-keys failure, got %v", err)
+	}
+}

@@ -243,11 +243,18 @@ func (s *Service) Mode() string { return s.cfg.Mode }
 
 // Close shuts the service down: subsequent Exec calls (and pool requests in
 // flight past their handoff) fail with ErrClosed. Close after every session
-// is quiesced for a clean shutdown.
-func (s *Service) Close() {
-	if s.closed.CompareAndSwap(false, true) {
-		s.exec.close()
+// is quiesced for a clean shutdown. When the engine is durable, the WAL is
+// flushed and closed last — after the executor has stopped accepting work —
+// so every acknowledged commit is on disk before Close returns.
+func (s *Service) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
 	}
+	s.exec.close()
+	if d, ok := s.eng.(engine.Durable); ok {
+		return d.WALClose()
+	}
+	return nil
 }
 
 // nextThreadID hands out dense engine thread ids.
@@ -294,7 +301,7 @@ func (ss *Session) Exec(req *Request, resp *Response) error {
 	case OpPing:
 	case OpInfo:
 		resp.Text = svc.eng.Name()
-		resp.Vals = append(resp.Vals, int64(svc.cfg.Keys))
+		resp.Vals = append(resp.Vals, int64(svc.cfg.Keys), svc.cfg.Initial)
 	case OpStats:
 		var data []byte
 		if data, err = json.Marshal(svc.Stats()); err == nil {
@@ -326,13 +333,14 @@ type OpStat struct {
 // latency percentiles plus the engine's own counters (abort taxonomy
 // included).
 type Stats struct {
-	Engine      string       `json:"engine"`
-	Mode        string       `json:"mode"`
-	Keys        int          `json:"keys"`
-	Ops         uint64       `json:"ops"`
-	Errs        uint64       `json:"errs,omitempty"`
-	PerOp       []OpStat     `json:"per_op,omitempty"`
-	EngineStats engine.Stats `json:"engine_stats"`
+	Engine      string                 `json:"engine"`
+	Mode        string                 `json:"mode"`
+	Keys        int                    `json:"keys"`
+	Ops         uint64                 `json:"ops"`
+	Errs        uint64                 `json:"errs,omitempty"`
+	PerOp       []OpStat               `json:"per_op,omitempty"`
+	EngineStats engine.Stats           `json:"engine_stats"`
+	Durability  *engine.DurabilityInfo `json:"durability,omitempty"`
 }
 
 // Stats snapshots the service telemetry. The per-op counters and histograms
@@ -346,6 +354,10 @@ func (s *Service) Stats() Stats {
 		Mode:        s.cfg.Mode,
 		Keys:        s.cfg.Keys,
 		EngineStats: s.eng.Stats(),
+	}
+	if d, ok := s.eng.(engine.Durable); ok {
+		info := d.DurabilityInfo()
+		st.Durability = &info
 	}
 	for op := OpInvalid; op < numOps; op++ {
 		m := &s.metrics[op]

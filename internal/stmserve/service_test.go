@@ -18,7 +18,7 @@ func newTestService(t *testing.T, cfg Config) *Service {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	t.Cleanup(svc.Close)
+	t.Cleanup(func() { svc.Close() })
 	return svc
 }
 
