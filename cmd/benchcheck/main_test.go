@@ -287,6 +287,47 @@ func TestCheckWalTelemetry(t *testing.T) {
 	}
 }
 
+// TestCheckReplTelemetry pins the replication-telemetry compatibility rule,
+// the repl sibling of the wal rule: a record measured on a replicated node
+// carries a repl block with its role — accepted next to plain records, never
+// required, rejected when the role is outside the replication pair's two or
+// a counter went negative.
+func TestCheckReplTelemetry(t *testing.T) {
+	replRecord := func(role string) harness.Result {
+		r := record("durable/norec", "bank/64", 50)
+		r.Repl = &harness.ReplInfo{Role: role, Followers: 1, LagSeqs: 2, LagBytes: 64}
+		return r
+	}
+	for _, role := range []string{"primary", "follower"} {
+		rs := []harness.Result{record("tl2", "bank/64", 100), replRecord(role)}
+		if errs := check(marshal(t, rs), []string{"tl2", "durable/norec"}); len(errs) != 0 {
+			t.Fatalf("repl record with role=%s rejected: %v", role, errs)
+		}
+	}
+	rs := []harness.Result{replRecord("observer")}
+	errs := check(marshal(t, rs), []string{"durable/norec"})
+	if !strings.Contains(errsString(errs), "role") {
+		t.Fatalf("malformed replication role not reported: %v", errs)
+	}
+	// A repl block with no role at all is equally malformed — the adapters
+	// always stamp the node's role, never an empty string.
+	raw := []byte(`[{"workload":"bank/64","engine":"durable/norec","workers":4,` +
+		`"elapsed_ns":50000000,"txs":100,"tx_per_s":2000,` +
+		`"allocs_per_commit":12.5,"bytes_per_commit":800,` +
+		`"stats":{"commits":100},"repl":{"followers":1}}]`)
+	errs = check(raw, []string{"durable/norec"})
+	if !strings.Contains(errsString(errs), "role") {
+		t.Fatalf("role-less repl block not reported: %v", errs)
+	}
+	// Negative counters are a stripped or hand-edited record.
+	r := replRecord("primary")
+	r.Repl.LagBytes = -64
+	errs = check(marshal(t, []harness.Result{r}), []string{"durable/norec"})
+	if !strings.Contains(errsString(errs), "negative") {
+		t.Fatalf("negative repl counter not reported: %v", errs)
+	}
+}
+
 // TestCheckRejectsInconsistentLatency: a latency block whose bucket counts
 // do not sum to the record's committed transactions is a stripped or edited
 // record (the harness derives Txs and the histogram from the same probes).

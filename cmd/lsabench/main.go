@@ -270,16 +270,16 @@ func benchWorkloads() []harness.Workload {
 
 func selectedEngines(spec string) []string {
 	if spec == "" || spec == "all" {
-		// The default matrix is the in-memory engine family. Durable
-		// wrappers journal every write to disk and accept only
-		// WAL-serializable payloads (the set workloads' struct markers are
-		// not), so they join a run only by explicit name: -engine
-		// durable/norec -fsync never measures the pure journaling tax.
+		// The default matrix is every registered engine, durable wrappers
+		// included: the []int bucket codec makes the hash set runnable on
+		// them, and the journaling tax belongs in the headline table.
+		// Workloads whose payloads still have no codec (the linked-list and
+		// skip-list node graphs) are skipped per-engine in runBench, so the
+		// durable group has a smaller workload set than the in-memory one —
+		// benchcheck's uniformity gate compares within durability groups.
 		var names []string
 		for _, info := range engine.Infos() {
-			if !info.Capabilities.Durable {
-				names = append(names, info.Name)
-			}
+			names = append(names, info.Name)
 		}
 		return names
 	}
@@ -316,13 +316,13 @@ func runBench(engines []string, opt engine.Options, workers int, duration, warmu
 			}
 			r, err := harness.Run(eng, w, hopt)
 			if errors.Is(err, durable.ErrUnsupportedPayload) {
-				// Durable wrappers reject struct payloads at Write time, so
-				// the set workloads cannot run on them. Skip those scenarios
-				// (loudly) rather than fail the run: -engine durable/norec
-				// still measures the journaling tax on the int-lane
-				// workloads. Note a snapshot mixing durable and in-memory
-				// engines then has uneven workload sets, which benchcheck's
-				// uniformity gate rejects by design.
+				// Durable wrappers reject payloads without a codec at Write
+				// time: the linked-list and skip-list workloads store node
+				// structs holding cell handles, which no codec can rebind.
+				// Skip those scenarios (loudly) rather than fail the run —
+				// benchcheck's uniformity gate compares workload sets within
+				// each durability group, so the durable engines just need to
+				// skip consistently among themselves.
 				fmt.Fprintf(os.Stderr, "lsabench: skipping %s on %s: %v\n", w.Name(), name, err)
 				continue
 			}
@@ -343,11 +343,16 @@ func yn(b bool) string {
 }
 
 func benchTable(results []harness.Result) *stats.Table {
-	t := stats.NewTable("engine", "workload", "workers", "tx/s", "p50", "p99", "p999", "aborts/attempt", "abort mix", "allocs/commit", "B/commit", "boxed%", "batch", "esc%")
+	t := stats.NewTable("engine", "workload", "workers", "tx/s", "p50", "p99", "p999", "aborts/attempt", "abort mix", "allocs/commit", "B/commit", "boxed%", "batch", "esc%", "fsync")
 	for _, r := range results {
 		// batch = mean commits per combining batch (flat-combining engines);
-		// esc% = share of commits that ran escalated (adaptive engines). "-"
-		// where the engine has no such protocol.
+		// esc% = share of commits that ran escalated (adaptive engines);
+		// fsync = the durable wrappers' sync policy. "-" where the engine
+		// has no such protocol.
+		fsync := "-"
+		if r.Wal != nil {
+			fsync = r.Wal.FsyncPolicy
+		}
 		batch := "-"
 		if r.Stats.CommitBatches > 0 {
 			batch = fmt.Sprintf("%.2f", float64(r.Stats.BatchedCommits)/float64(r.Stats.CommitBatches))
@@ -370,7 +375,7 @@ func benchTable(results []harness.Result) *stats.Table {
 			fmt.Sprintf("%.1f", r.AllocsPerCommit),
 			fmt.Sprintf("%.0f", r.BytesPerCommit),
 			fmt.Sprintf("%.1f", 100*r.Stats.BoxedShare()),
-			batch, esc)
+			batch, esc, fsync)
 	}
 	return t
 }

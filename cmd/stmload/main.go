@@ -9,6 +9,7 @@
 //	stmload -addr localhost:7070 -mix transfer=80,snapshot=20 -zipf-s 1.5
 //	stmload -engine norec -conn-mode pool -conns 256      in-process (no server, no sockets)
 //	stmload -addr localhost:7070 -recovery-audit -expect-recovered
+//	stmload -addr localhost:7070 -failover-audit -failover-addr localhost:7170
 //
 // -recovery-audit switches stmload from throughput measurement to the
 // crash-recovery proof: it records the last acknowledged transfer on every
@@ -16,6 +17,12 @@
 // restart over the same WAL, and exits non-zero unless the server reflects
 // every acked commit and conserves the bank sum (-duration bounds how long
 // it waits for the crash).
+//
+// -failover-audit is the replication sibling: load the primary at -addr
+// (started with -repl-ack quorum) until it dies, promote the hot standby at
+// -failover-addr with the PROMOTE op, and exit non-zero unless the promoted
+// standby reflects every acked transfer, conserves the bank sum, and reports
+// a nonzero replication watermark.
 //
 // After the run, stmload fetches the server's STATS and prints the engine's
 // abort-reason mix next to the client-side latency, so one invocation shows
@@ -55,6 +62,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "base RNG seed (per-connection seeds derive from it)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of a table")
 		audit       = flag.Bool("recovery-audit", false, "crash-recovery audit: load acked transfers until the server dies, reconnect, verify nothing acked was lost (requires -addr)")
+		failover    = flag.Bool("failover-audit", false, "failover audit: load the replicated primary at -addr until it dies, promote the standby at -failover-addr, verify nothing acked was lost")
+		failAddr    = flag.String("failover-addr", "", "failover audit: the hot standby's line-protocol address")
 		reconnectTO = flag.Duration("reconnect-timeout", 30*time.Second, "recovery audit: how long to wait for the restarted server")
 		expectRec   = flag.Bool("expect-recovered", false, "recovery audit: also require the restarted server to report ≥ 1 recovered WAL commit")
 		skipSum     = flag.Bool("skip-sum", false, "recovery audit: skip the conserved-sum check (other clients ran non-transfer traffic)")
@@ -113,6 +122,33 @@ func main() {
 		defer svc.Close()
 		dial = stmserve.ServiceDialer(svc)
 		fmt.Printf("stmload: in-process engine=%s keys=%d mode=%s\n", eng.Name(), kv, svc.Mode())
+	}
+
+	if *failover {
+		if *addr == "" || *failAddr == "" {
+			fatal(fmt.Errorf("-failover-audit requires -addr (the primary) and -failover-addr (the standby)"))
+		}
+		rep, aerr := stmserve.RunFailoverAudit(dial, stmserve.NetDialer(*failAddr), stmserve.FailoverAuditOptions{
+			Conns: *conns, Window: *duration, PromoteTimeout: *reconnectTO,
+			Keys: *keys, SkipSum: *skipSum,
+		})
+		if *jsonOut {
+			if data, jerr := json.MarshalIndent(rep, "", "  "); jerr == nil {
+				fmt.Println(string(data))
+			}
+		} else {
+			fmt.Printf("stmload: failover audit: %d conns acked %d transfers to %d follower(s), primary down after %v, standby promoted after %v, sum %d/%d, watermark seq %d\n",
+				rep.Conns, rep.Acked, rep.Followers, rep.DownAfter.Round(time.Millisecond), rep.PromoteAfter.Round(time.Millisecond),
+				rep.Sum, rep.WantSum, rep.AppliedSeq)
+		}
+		if aerr != nil {
+			fatal(aerr)
+		}
+		fmt.Println("stmload: failover audit passed: every acked commit survived the failover")
+		if err := stopDiag(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *audit {

@@ -16,6 +16,17 @@
 // SIGINT/SIGTERM shut down gracefully and print the per-op latency table
 // and the engine's abort taxonomy.
 //
+// A durable engine can replicate. The primary streams its WAL to followers:
+//
+//	stmserve -engine durable/norec -wal ./p -repl-listen :7071 -repl-ack quorum
+//	stmserve -engine durable/norec -wal ./f -listen :7170 -follow host:7071
+//
+// A follower serves reads but refuses updates until the PROMOTE op (or a
+// dead primary's operator) seals its stream and brings it up as serving
+// primary — cmd/stmload's -failover-audit drives exactly that and proves no
+// quorum-acked commit was lost. STATS gains a "replication" block on both
+// roles (follower count, lag in seqs and bytes, resyncs, reconnects).
+//
 // Runtime diagnostics match the other cmds: -cpuprofile/-memprofile/-trace
 // write the standard Go profiles, -http serves expvar and pprof.
 package main
@@ -34,12 +45,11 @@ import (
 	"time"
 
 	"repro/internal/diag"
+	"repro/internal/durable"
 	"repro/internal/engine"
+	"repro/internal/replica"
 	"repro/internal/stats"
 	"repro/internal/stmserve"
-
-	// Register the durable/* wrappers (-engine durable/norec -wal ...).
-	_ "repro/internal/durable"
 )
 
 func main() {
@@ -51,6 +61,10 @@ func main() {
 		initial     = flag.Int64("initial", 1000, "initial balance per key")
 		connMode    = flag.String("conn-mode", stmserve.ModeThread, "connection-to-engine-thread mapping: thread|pool")
 		poolWorkers = flag.Int("pool-workers", runtime.GOMAXPROCS(0), "engine threads in pool mode")
+		replListen  = flag.String("repl-listen", "", "stream the WAL to followers on this address (primary role; durable engines only)")
+		follow      = flag.String("follow", "", "replicate from the primary at this address (hot-standby role; durable engines only)")
+		replAck     = flag.String("repl-ack", "none", "replication ack mode: none (commits ack locally) or quorum (client acks wait for -repl-quorum follower acks)")
+		replQuorum  = flag.Int("repl-quorum", 1, "follower acks a commit needs in -repl-ack quorum mode")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		tracePath   = flag.String("trace", "", "write an execution trace to this file")
@@ -59,6 +73,18 @@ func main() {
 	var opt engine.Options
 	opt.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if *replListen != "" && *follow != "" {
+		fatal(fmt.Errorf("-repl-listen and -follow are mutually exclusive (a node is a primary or a follower, not both)"))
+	}
+	if *replAck != "none" && *replAck != "quorum" {
+		fatal(fmt.Errorf("-repl-ack %q: want none or quorum", *replAck))
+	}
+	if *replAck == "quorum" && *replListen == "" {
+		fatal(fmt.Errorf("-repl-ack quorum only applies to a primary (-repl-listen)"))
+	}
+	if *replQuorum < 1 {
+		fatal(fmt.Errorf("-repl-quorum %d: must be ≥ 1", *replQuorum))
+	}
 	if opt.Nodes == 0 {
 		// Engine threads are created per connection (thread mode) or per
 		// pool worker; size the per-node time bases for the pool upper
@@ -92,6 +118,61 @@ func main() {
 		fatal(err)
 	}
 	diag.Publish("stmserve", func() any { return svc.Stats() })
+
+	// Replication wiring: the shell adapts the replica layer onto the
+	// service's hooks so internal/stmserve never imports internal/replica.
+	var (
+		prim   *replica.Primary
+		foll   *replica.Follower
+		replLn net.Listener
+	)
+	if *replListen != "" || *follow != "" {
+		deng, ok := eng.(*durable.Engine)
+		if !ok {
+			fatal(fmt.Errorf("replication needs a durable engine (-engine durable/...), not %s", eng.Name()))
+		}
+		if *replListen != "" {
+			quorum := 0
+			if *replAck == "quorum" {
+				quorum = *replQuorum
+			}
+			prim = replica.NewPrimary(deng, replica.PrimaryOptions{Quorum: quorum})
+			replLn, err = net.Listen("tcp", *replListen)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("stmserve: primary: streaming WAL to followers on %s (ack=%s)\n", replLn.Addr(), *replAck)
+			go func() {
+				// The accept loop ends when shutdown closes the listener; that
+				// error is the normal exit, not worth reporting.
+				_ = prim.Serve(replLn)
+			}()
+			svc.SetReplStats(func() *stmserve.ReplStats {
+				st := prim.Stats()
+				return &stmserve.ReplStats{
+					Role: "primary", AppendedSeq: st.AppendedSeq,
+					Followers: st.Followers, MinAckedSeq: st.MinAckedSeq,
+					LagSeqs: st.LagSeqs, LagBytes: st.LagBytes, Resyncs: st.Resyncs,
+					Accepts: st.Accepts, Disconnects: st.Disconnects,
+				}
+			})
+		} else {
+			addr := *follow
+			foll = replica.NewFollower(deng, func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 5*time.Second)
+			}, replica.FollowerOptions{})
+			fmt.Printf("stmserve: hot standby following %s (updates refused until PROMOTE)\n", addr)
+			svc.SetPromote(foll.Promote)
+			svc.SetReplStats(func() *stmserve.ReplStats {
+				st := foll.Stats()
+				return &stmserve.ReplStats{
+					Role: "follower", AppendedSeq: st.AppliedSeq,
+					Connected: st.Connected, Reconnects: st.Reconnects,
+					Snapshots: st.Snapshots, Promoted: st.Promoted,
+				}
+			})
+		}
+	}
 
 	srv := stmserve.NewServer(svc)
 	l, err := net.Listen("tcp", *listen)
@@ -136,6 +217,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "stmserve: http api shutdown:", err)
 		}
 		cancel()
+	}
+	// Replication teardown before the WAL closes: the follower loop quiesces
+	// (a no-op if it promoted), the primary stops tapping commits and drops
+	// its streams.
+	if foll != nil {
+		foll.Close()
+	}
+	if prim != nil {
+		replLn.Close()
+		prim.Close()
 	}
 	if err := svc.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "stmserve: wal close:", err)

@@ -1,0 +1,82 @@
+// Payload codec registration: the escape hatch that lets applications carry
+// struct payloads through the WAL. The built-in value tags cover the numeric
+// lane plus nil, bool, string, float64 and []byte; a registered codec extends
+// that set with one named, self-describing encoding per Go type. On disk a
+// codec value is
+//
+//	'u' | uvarint len(name) | name | uvarint len(body) | body
+//
+// so recovery (and a replication follower) can decode it by name without the
+// writing process — provided the reader registered the same codec, which is
+// the same deterministic-setup contract cell creation already imposes.
+//
+// Codecs suit self-contained payloads (slices, small structs). Cell-graph
+// payloads — nodes holding engine.Cell handles, like the linked-list and
+// skip-list workloads use — are NOT expressible: a cell handle is a
+// process-local pointer, and rebinding one at decode time would need a
+// second recovery phase that does not exist. Those payloads stay
+// unsupported by design.
+package durable
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+type codec struct {
+	name string
+	enc  func(any) ([]byte, error)
+	dec  func([]byte) (any, error)
+}
+
+var (
+	codecMu     sync.RWMutex
+	codecByName = map[string]codec{}
+	codecByType = map[reflect.Type]codec{}
+)
+
+// RegisterCodec makes values of prototype's dynamic type WAL-serializable:
+// enc turns such a value into a self-contained byte body, dec inverts it.
+// The name travels in every encoded frame, so it must be stable across
+// versions and registered identically on every process that reads the log
+// (recovery and replication followers alike). Duplicate names or types
+// panic — codecs register from init functions, so a collision is a
+// programming error.
+func RegisterCodec(name string, prototype any, enc func(any) ([]byte, error), dec func([]byte) (any, error)) {
+	t := reflect.TypeOf(prototype)
+	if name == "" || t == nil || enc == nil || dec == nil {
+		panic("durable: RegisterCodec needs a name, a typed prototype, and both functions")
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecByName[name]; dup {
+		panic(fmt.Sprintf("durable: duplicate codec name %q", name))
+	}
+	if c, dup := codecByType[t]; dup {
+		panic(fmt.Sprintf("durable: type %v already has codec %q", t, c.name))
+	}
+	c := codec{name: name, enc: enc, dec: dec}
+	codecByName[name] = c
+	codecByType[t] = c
+}
+
+// codecFor returns the codec registered for x's dynamic type.
+func codecFor(x any) (codec, bool) {
+	t := reflect.TypeOf(x)
+	if t == nil {
+		return codec{}, false
+	}
+	codecMu.RLock()
+	c, ok := codecByType[t]
+	codecMu.RUnlock()
+	return c, ok
+}
+
+// codecNamed returns the codec registered under name (the decode side).
+func codecNamed(name string) (codec, bool) {
+	codecMu.RLock()
+	c, ok := codecByName[name]
+	codecMu.RUnlock()
+	return c, ok
+}

@@ -1,0 +1,159 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/val"
+)
+
+// pair is the test codec's payload type: a tiny struct, the shape codecs
+// exist to carry.
+type pair struct{ x, y int32 }
+
+func init() {
+	RegisterCodec("test/pair", pair{},
+		func(a any) ([]byte, error) {
+			p := a.(pair)
+			b := binary.LittleEndian.AppendUint32(nil, uint32(p.x))
+			return binary.LittleEndian.AppendUint32(b, uint32(p.y)), nil
+		},
+		func(b []byte) (any, error) {
+			if len(b) != 8 {
+				return nil, errors.New("test/pair: want 8 bytes")
+			}
+			return pair{
+				x: int32(binary.LittleEndian.Uint32(b[0:4])),
+				y: int32(binary.LittleEndian.Uint32(b[4:8])),
+			}, nil
+		})
+}
+
+// TestCodecValueRoundTrip: a registered codec payload is encodable, encodes
+// under its name, and decodes back to the exact value.
+func TestCodecValueRoundTrip(t *testing.T) {
+	want := pair{x: -3, y: 7}
+	if !EncodableValue(val.OfAny(want)) {
+		t.Fatal("EncodableValue(codec type) = false")
+	}
+	b, err := appendValue(nil, val.OfAny(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := decodeValue(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+	if got.Load() != want {
+		t.Errorf("round trip %#v → %#v", want, got.Load())
+	}
+}
+
+// TestIntsCodecRoundTrip: the built-in "ints" codec (the one that carries
+// the hash-set workload's buckets) round-trips sorted, unsorted, negative
+// and empty slices exactly.
+func TestIntsCodecRoundTrip(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{},
+		{42},
+		{1, 2, 3, 100, 10_000},
+		{-5, -1, 0, 7},
+		{9, 3, -20, 3}, // unsorted with a repeat: deltas go negative
+	}
+	for _, keys := range cases {
+		b, err := appendValue(nil, val.OfAny(keys))
+		if err != nil {
+			t.Fatalf("%v: %v", keys, err)
+		}
+		got, rest, err := decodeValue(b)
+		if err != nil {
+			t.Fatalf("%v: %v", keys, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("%v: %d trailing bytes", keys, len(rest))
+		}
+		dec := got.Load().([]int)
+		if len(dec) != len(keys) {
+			t.Fatalf("%v round-tripped to %v", keys, dec)
+		}
+		for i := range keys {
+			if dec[i] != keys[i] {
+				t.Fatalf("%v round-tripped to %v", keys, dec)
+			}
+		}
+	}
+}
+
+// TestCodecUnknownNameRejected: a frame naming a codec this process never
+// registered must fail decode with the name in the error — not panic, not
+// silently drop the value.
+func TestCodecUnknownNameRejected(t *testing.T) {
+	name := "test/nobody-registered-this"
+	b := []byte{tagCodec}
+	b = binary.AppendUvarint(b, uint64(len(name)))
+	b = append(b, name...)
+	b = binary.AppendUvarint(b, 0)
+	if _, _, err := decodeValue(b); err == nil || !strings.Contains(err.Error(), name) {
+		t.Errorf("decodeValue = %v, want error naming %q", err, name)
+	}
+}
+
+// TestCodecRecoveryRoundTrip: codec payloads written through a durable
+// engine survive crash recovery — the full journal → recoverDir → NewCell
+// substitution path, not just the value codec in isolation.
+func TestCodecRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, "norec", dir, Options{})
+	c := e.NewCell(pair{})
+	th := e.Thread(0)
+	want := pair{x: 11, y: -22}
+	if err := th.Run(func(tx engine.Txn) error { return tx.Write(c, want) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newTestEngine(t, "norec", dir, Options{})
+	c2 := e2.NewCell(pair{})
+	var got any
+	if err := e2.Thread(0).RunReadOnly(func(tx engine.Txn) error {
+		v, err := tx.Read(c2)
+		got = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("recovered %#v, want %#v", got, want)
+	}
+	if err := e2.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterCodecCollisions: duplicate names and duplicate types both
+// panic at registration.
+func TestRegisterCodecCollisions(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	enc := func(any) ([]byte, error) { return nil, nil }
+	dec := func([]byte) (any, error) { return nil, nil }
+	mustPanic("dup name", func() { RegisterCodec("test/pair", struct{ z bool }{}, enc, dec) })
+	mustPanic("dup type", func() { RegisterCodec("test/pair2", pair{}, enc, dec) })
+	mustPanic("nil prototype", func() { RegisterCodec("test/nil", nil, enc, dec) })
+}

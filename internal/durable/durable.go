@@ -34,8 +34,10 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,13 +46,23 @@ import (
 	"repro/internal/val"
 )
 
+// ErrStandby reports an update transaction refused because the engine is a
+// replication standby: a follower applies the primary's redo stream and
+// nothing else, so local updates are rejected until Promote ends standby.
+// Read-only transactions are always served.
+var ErrStandby = errors.New("durable: standby replica refuses update transactions")
+
 // defaultSnapshotBytes triggers compaction after 8 MiB of appended redo
 // records.
 const defaultSnapshotBytes = 8 << 20
 
 // snapThreadID is the inner-engine worker id of the snapshot capture
-// thread, far above any real worker's dense 0..N−1 ids.
-const snapThreadID = 1 << 16
+// thread, far above any real worker's dense 0..N−1 ids. applyThreadID is
+// the replication-apply thread's id, equally far out of the dense range.
+const (
+	snapThreadID  = 1 << 16
+	applyThreadID = 1<<16 + 1
+)
 
 // Options parameterize Wrap. The zero value is usable: a temp WAL
 // directory, group-commit fsync, 8 MiB compaction threshold.
@@ -91,8 +103,19 @@ type Engine struct {
 	bytesSince atomic.Int64
 	compacting atomic.Bool
 	compactWG  sync.WaitGroup
+	snapMu     sync.Mutex // snapThread is an engine Thread: single-goroutine
 	snapOnce   sync.Once
 	snapThread engine.Thread
+
+	// Replication state. standby refuses local update transactions (the
+	// follower role); gate, when set, is consulted after every journaled
+	// commit (the primary's sync-replication ack gate); the apply thread
+	// replays the primary's redo records on a follower.
+	standby     atomic.Bool
+	gate        atomic.Pointer[func(seq uint64) error]
+	applyMu     sync.Mutex // applyThread is single-goroutine too
+	applyOnce   sync.Once
+	applyThread engine.Thread
 }
 
 // Wrap recovers the WAL directory's state and returns a durable engine over
@@ -234,7 +257,33 @@ func (e *Engine) compact() {
 	if e.log.Err() != nil {
 		return
 	}
+	watermark, entries, err := e.CaptureSnapshot()
+	if err != nil {
+		// Compaction is an optimization: an unencodable cell or exhausted
+		// retries just defers it until the next trigger.
+		return
+	}
+	if e.log.WriteSnapshot(watermark, entries) == nil {
+		e.bytesSince.Store(0)
+	}
+}
+
+// CaptureSnapshot returns a consistent full-state snapshot: the commit
+// watermark and every cell's value at exactly that watermark. The capture is
+// one read-only inner transaction over the ticket cell and every data cell:
+// serializability makes the ticket value s the exact watermark of the
+// captured state (every commit ≤ s is in it, nothing above s is). Cells can
+// be created concurrently, so after the capture returns the cell count is
+// re-checked: if it grew, a commit ≤ s could have written a cell the
+// capture missed (its NewCell, which appends under mu, happened before that
+// commit, which happened before the capture returned — so the growth is
+// visible here), and the capture retries over the larger set. Compaction
+// and the replication primary's snapshot-then-tail catch-up both feed off
+// this.
+func (e *Engine) CaptureSnapshot() (uint64, []Entry, error) {
 	e.snapOnce.Do(func() { e.snapThread = e.inner.Thread(snapThreadID) })
+	e.snapMu.Lock() // the capture thread is single-goroutine
+	defer e.snapMu.Unlock()
 	for try := 0; try < 8; try++ {
 		e.mu.Lock()
 		n := len(e.cells)
@@ -260,7 +309,7 @@ func (e *Engine) compact() {
 			return nil
 		})
 		if err != nil {
-			return
+			return 0, nil, err
 		}
 		e.mu.Lock()
 		grown := len(e.cells) > n
@@ -269,29 +318,208 @@ func (e *Engine) compact() {
 			continue
 		}
 
-		entries := make([]writeEntry, 0, n)
+		entries := make([]Entry, 0, n)
 		for i, v := range vals {
 			if !EncodableValue(v) {
 				// A cell was created with a non-serializable initial and
-				// never overwritten; it cannot be snapshotted, so keep
-				// replaying the log instead.
-				return
+				// never overwritten; it cannot be snapshotted.
+				return 0, nil, fmt.Errorf("%w: cell %d", ErrUnsupportedPayload, i)
 			}
-			entries = append(entries, writeEntry{id: uint64(i), v: v})
+			entries = append(entries, Entry{ID: uint64(i), V: v})
 		}
 		// Recovered cells the application has not re-created yet still
-		// belong to the durable state: fold them in so compaction never
+		// belong to the durable state: fold them in so a snapshot never
 		// drops them.
 		for id, v := range e.recovered {
 			if id >= uint64(n) {
-				entries = append(entries, writeEntry{id: id, v: v})
+				entries = append(entries, Entry{ID: id, V: v})
 			}
 		}
-		if e.log.WriteSnapshot(uint64(watermark), entries) == nil {
-			e.bytesSince.Store(0)
-		}
+		return uint64(watermark), entries, nil
+	}
+	return 0, nil, errors.New("durable: snapshot capture kept losing races with cell creation")
+}
+
+// SnapshotFrame captures a consistent snapshot (see CaptureSnapshot) and
+// returns its watermark plus a complete framed 'S' record — the bytes a
+// replication primary ships for follower catch-up and slow-follower resync,
+// identical in format to an on-disk snapshot frame.
+func (e *Engine) SnapshotFrame() (uint64, []byte, error) {
+	seq, entries, err := e.CaptureSnapshot()
+	if err != nil {
+		return 0, nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	b := make([]byte, frameHeaderLen, frameHeaderLen+64+16*len(entries))
+	b, err = appendSnapshotPayload(b, seq, entries)
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, frameAround(b), nil
+}
+
+// AppendedSeq returns the highest commit sequence appended to the log — the
+// primary's replication high-water mark, and on a follower the applied-seq
+// watermark (the apply path journals each replicated commit at its original
+// seq).
+func (e *Engine) AppendedSeq() uint64 { return e.log.AppendedSeq() }
+
+// TapCommits installs tap as the log's append observer: it sees every
+// journaled commit frame in seq order, called under the log mutex with
+// frame bytes valid only during the call. The replication primary feeds its
+// follower send buffers from here; the tap must copy and never block.
+func (e *Engine) TapCommits(tap func(seq uint64, frame []byte)) { e.log.setTap(tap) }
+
+// SetCommitGate installs gate (nil clears): after a transaction's redo
+// record is journaled, its thread calls gate(seq) and returns the gate's
+// error as the transaction error. The commit itself is already durable and
+// journaled — the gate only withholds the acknowledgment, which is exactly
+// the sync-replication semantic: "committed locally but not yet confirmed
+// replicated" surfaces as an error without blocking the log.
+func (e *Engine) SetCommitGate(gate func(seq uint64) error) {
+	if gate == nil {
+		e.gate.Store(nil)
 		return
 	}
+	e.gate.Store(&gate)
+}
+
+// SetStandby switches the follower role on or off. In standby, update
+// transactions are refused with ErrStandby before the inner engine can
+// commit anything; reads are served normally. Promote is SetStandby(false)
+// after sealing the log.
+func (e *Engine) SetStandby(on bool) { e.standby.Store(on) }
+
+// Standby reports whether the engine is in follower standby.
+func (e *Engine) Standby() bool { return e.standby.Load() }
+
+// applyCells resolves redo-entry cell ids to inner-engine cells. Unknown
+// ids are a keyspace mismatch between primary and follower (the
+// deterministic-creation-order contract extends across the replica set:
+// both sides must create the same cells in the same order).
+func (e *Engine) applyCells(writes []Entry) ([]engine.Cell, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cells := make([]engine.Cell, len(writes))
+	for i, w := range writes {
+		if w.ID >= uint64(len(e.cells)) {
+			return nil, fmt.Errorf("durable: replicated write to unknown cell %d (have %d; keyspace mismatch with primary?)", w.ID, len(e.cells))
+		}
+		cells[i] = e.cells[w.ID]
+	}
+	return cells, nil
+}
+
+// ApplyReplicated replays one primary commit on a follower: it applies the
+// record's writes (and advances the ticket cell to seq) in one inner
+// transaction, then journals the record to the follower's own log at the
+// same seq — so the follower's WAL is byte-compatible with the primary's
+// history and commit numbering continues seamlessly across a promotion.
+// Records must arrive in dense seq order; a gap is a stream error the
+// caller handles by resyncing from a snapshot.
+func (e *Engine) ApplyReplicated(seq uint64, writes []Entry) error {
+	if err := e.log.usable(); err != nil {
+		return err
+	}
+	e.applyOnce.Do(func() { e.applyThread = e.inner.Thread(applyThreadID) })
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if want := e.log.AppendedSeq() + 1; seq != want {
+		return fmt.Errorf("durable: replicated record out of order: got seq %d, want %d", seq, want)
+	}
+	cells, err := e.applyCells(writes)
+	if err != nil {
+		return err
+	}
+	err = e.applyThread.Run(func(tx engine.Txn) error {
+		if err := engine.Set(tx, e.seqCell, int64(seq)); err != nil {
+			return err
+		}
+		for i, w := range writes {
+			if err := tx.Write(cells[i], w.V.Load()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The inner commit succeeded; the record must reach the follower's log
+	// (same invariant as the primary-side Run path).
+	b := append(make([]byte, 0, frameHeaderLen+16+16*len(writes)), framePad[:]...)
+	b, encErr := appendCommitPayload(b, seq, writes)
+	if encErr != nil {
+		e.log.mu.Lock()
+		e.log.fail(fmt.Errorf("durable: replicated payload became unencodable: %w", encErr))
+		e.log.mu.Unlock()
+		return encErr
+	}
+	n, err := e.log.Commit(seq, b)
+	if err != nil {
+		return err
+	}
+	e.bytesSince.Add(n)
+	e.maybeCompact()
+	return nil
+}
+
+// InstallReplicaSnapshot replaces the follower's state wholesale with a
+// primary snapshot at watermark seq: the snapshot is written to the
+// follower's own WAL first (so a crash mid-install recovers to either the
+// old state or the new snapshot, never between), the log sequencer jumps to
+// seq+1 on a fresh segment, and then one inner transaction overwrites every
+// cell and the ticket. Serving reads interleave safely — they see the old
+// state or the new one atomically. Refuses to regress behind already-applied
+// records.
+func (e *Engine) InstallReplicaSnapshot(seq uint64, values map[uint64]val.Value) error {
+	if err := e.log.usable(); err != nil {
+		return err
+	}
+	e.applyOnce.Do(func() { e.applyThread = e.inner.Thread(applyThreadID) })
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if cur := e.log.AppendedSeq(); seq < cur {
+		return fmt.Errorf("durable: replica snapshot at %d would regress applied seq %d", seq, cur)
+	}
+	entries := make([]Entry, 0, len(values))
+	for id, v := range values {
+		entries = append(entries, Entry{ID: id, V: v})
+	}
+	// Sort before resolving cells: WriteSnapshot sorts entries in place, and
+	// cells[i] must keep matching entries[i] through the apply below.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	cells, err := e.applyCells(entries)
+	if err != nil {
+		return err
+	}
+	if err := e.log.WriteSnapshot(seq, entries); err != nil {
+		return err
+	}
+	if err := e.log.skipTo(seq + 1); err != nil {
+		return err
+	}
+	err = e.applyThread.Run(func(tx engine.Txn) error {
+		if err := engine.Set(tx, e.seqCell, int64(seq)); err != nil {
+			return err
+		}
+		for i, en := range entries {
+			if err := tx.Write(cells[i], en.V.Load()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// The on-disk image already moved to the snapshot; memory failing to
+		// follow leaves the two divergent, so wedge rather than limp on.
+		e.log.mu.Lock()
+		e.log.fail(fmt.Errorf("durable: replica snapshot apply failed after install: %w", err))
+		e.log.mu.Unlock()
+		return err
+	}
+	e.bytesSince.Store(0)
+	return nil
 }
 
 // dthread is the journaling thread wrapper: it runs the caller's closure
@@ -350,6 +578,15 @@ func (t *dthread) Run(fn func(engine.Txn) error) error {
 	}
 	t.e.bytesSince.Add(n)
 	t.e.maybeCompact()
+	if g := t.e.gate.Load(); g != nil {
+		// Sync replication: the commit is durable and journaled, but the
+		// client ack waits on the replication gate. A gate error means
+		// "committed locally, not confirmed replicated" — the safe direction,
+		// since callers then do not count it as acknowledged.
+		if err := (*g)(tx.seq); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -372,7 +609,7 @@ type dtxn struct {
 	itx    engine.Txn
 	iint   engine.IntTxn // itx's lane, nil if absent
 	seq    uint64
-	writes []writeEntry
+	writes []Entry
 }
 
 func (t *dtxn) reset(e *Engine, itx engine.Txn) {
@@ -394,6 +631,9 @@ func (t *dtxn) ticket() error {
 	// commit in memory with no journal entry.
 	if err := t.e.log.usable(); err != nil {
 		return err
+	}
+	if t.e.standby.Load() {
+		return ErrStandby
 	}
 	s, err := engine.Get[int64](t.itx, t.e.seqCell)
 	if err != nil {
@@ -422,7 +662,7 @@ func (t *dtxn) Write(c engine.Cell, v any) error {
 	if err := t.itx.Write(dc.inner, v); err != nil {
 		return err
 	}
-	t.writes = append(t.writes, writeEntry{id: dc.id, v: w})
+	t.writes = append(t.writes, Entry{ID: dc.id, V: w})
 	return nil
 }
 
@@ -447,7 +687,7 @@ func (t *dtxn) WriteInt(c engine.Cell, v int64) error {
 	} else if err := t.iint.WriteInt(dc.inner, v); err != nil {
 		return err
 	}
-	t.writes = append(t.writes, writeEntry{id: dc.id, v: val.OfInt(int(v))})
+	t.writes = append(t.writes, Entry{ID: dc.id, V: val.OfInt(int(v))})
 	return nil
 }
 
@@ -471,7 +711,7 @@ func init() {
 		}
 		caps := info.Capabilities
 		caps.Durable = true
-		caps.Tunables = append(append([]string{}, caps.Tunables...), "wal", "fsync", "snapshot")
+		caps.Tunables = append(append([]string{}, caps.Tunables...), "wal", "fsync", "snapshot", "segment", "group-interval")
 		engine.Register("durable/"+base, engine.Info{
 			Summary:      "recoverable " + base + ": redo WAL + compacting snapshot, crash recovery on boot",
 			Capabilities: caps,
@@ -484,6 +724,8 @@ func init() {
 				Dir:           o.WALDir,
 				Fsync:         o.Fsync,
 				SnapshotBytes: o.SnapshotBytes,
+				SegmentBytes:  o.SegmentBytes,
+				GroupInterval: o.GroupInterval,
 			})
 		})
 	}

@@ -16,7 +16,8 @@
 //
 // Values carry a one-byte kind tag ahead of a kind-specific body; only
 // WAL-serializable payloads are representable (the val numeric lane plus
-// nil, bool, string, float64 and []byte — see EncodableValue). The frame
+// nil, bool, string, float64 and []byte, extended by registered codecs —
+// see EncodableValue and RegisterCodec). The frame
 // reader distinguishes three outcomes callers treat differently: a clean
 // end of file, a torn frame (short read or CRC mismatch — recovery
 // truncates it when it is the log's final frame), and a malformed payload
@@ -54,6 +55,7 @@ const (
 	tagString  = 's' // uvarint len + bytes
 	tagFloat64 = 'f' // 8-byte little-endian IEEE 754 bits
 	tagBytes   = 'y' // uvarint len + bytes
+	tagCodec   = 'u' // uvarint len + codec name, uvarint len + codec body
 )
 
 // ErrUnsupportedPayload reports a transactional write whose payload the WAL
@@ -61,12 +63,14 @@ const (
 // anything commits.
 var ErrUnsupportedPayload = errors.New("durable: payload type not WAL-serializable")
 
-// errTorn marks a frame that ends early or fails its CRC — recoverable by
-// truncation when it is the final frame of the log.
-var errTorn = errors.New("durable: torn frame")
+// ErrTorn marks a frame that ends early or fails its CRC — recoverable by
+// truncation when it is the final frame of the log, and the reconnect signal
+// when a replication stream is cut mid-frame.
+var ErrTorn = errors.New("durable: torn frame")
 
 // EncodableValue reports whether v can be carried in a redo record: the
-// numeric lane, or a boxed nil, bool, string, float64 or []byte.
+// numeric lane, a boxed nil, bool, string, float64 or []byte, or any type
+// with a registered codec (see RegisterCodec).
 func EncodableValue(v val.Value) bool {
 	if v.IsNum() {
 		return true
@@ -75,7 +79,8 @@ func EncodableValue(v val.Value) bool {
 	case nil, bool, string, float64, []byte:
 		return true
 	}
-	return false
+	_, ok := codecFor(v.Load())
+	return ok
 }
 
 // appendValue appends v's tagged encoding to b. It returns an error wrapping
@@ -109,7 +114,19 @@ func appendValue(b []byte, v val.Value) ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(len(x)))
 		return append(b, x...), nil
 	default:
-		return b, fmt.Errorf("%w: %T", ErrUnsupportedPayload, x)
+		c, ok := codecFor(x)
+		if !ok {
+			return b, fmt.Errorf("%w: %T", ErrUnsupportedPayload, x)
+		}
+		body, err := c.enc(x)
+		if err != nil {
+			return b, fmt.Errorf("durable: codec %q encode: %w", c.name, err)
+		}
+		b = append(b, tagCodec)
+		b = binary.AppendUvarint(b, uint64(len(c.name)))
+		b = append(b, c.name...)
+		b = binary.AppendUvarint(b, uint64(len(body)))
+		return append(b, body...), nil
 	}
 }
 
@@ -152,36 +169,57 @@ func decodeValue(b []byte) (val.Value, []byte, error) {
 			return val.Value{}, nil, errors.New("durable: truncated float64 value")
 		}
 		return val.OfAny(math.Float64frombits(binary.LittleEndian.Uint64(b))), b[8:], nil
+	case tagCodec:
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b[w:])) < n {
+			return val.Value{}, nil, errors.New("durable: truncated codec name")
+		}
+		name := string(b[w : w+int(n)])
+		b = b[w+int(n):]
+		m, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b[w:])) < m {
+			return val.Value{}, nil, errors.New("durable: truncated codec body")
+		}
+		c, ok := codecNamed(name)
+		if !ok {
+			return val.Value{}, nil, fmt.Errorf("durable: log carries codec %q this process never registered", name)
+		}
+		x, err := c.dec(b[w : w+int(m)])
+		if err != nil {
+			return val.Value{}, nil, fmt.Errorf("durable: codec %q decode: %w", name, err)
+		}
+		return val.OfAny(x), b[w+int(m):], nil
 	default:
 		return val.Value{}, nil, fmt.Errorf("durable: unknown value tag %q", tag)
 	}
 }
 
-// writeEntry is one cell write inside a commit, in program order (replay
-// applies entries in order, so later writes to the same cell win, exactly as
-// they did transactionally).
-type writeEntry struct {
-	id uint64
-	v  val.Value
+// Entry is one cell write inside a commit or snapshot, in program order
+// (replay applies entries in order, so later writes to the same cell win,
+// exactly as they did transactionally). It is exported as the unit of the
+// replication feed: internal/replica ships and replays []Entry.
+type Entry struct {
+	ID uint64
+	V  val.Value
 }
 
 // appendCommitPayload appends the 'C' payload for (seq, writes) to b.
-func appendCommitPayload(b []byte, seq uint64, writes []writeEntry) ([]byte, error) {
+func appendCommitPayload(b []byte, seq uint64, writes []Entry) ([]byte, error) {
 	b = append(b, recCommit)
 	b = binary.AppendUvarint(b, seq)
 	b = binary.AppendUvarint(b, uint64(len(writes)))
 	var err error
 	for _, w := range writes {
-		b = binary.AppendUvarint(b, w.id)
-		if b, err = appendValue(b, w.v); err != nil {
+		b = binary.AppendUvarint(b, w.ID)
+		if b, err = appendValue(b, w.V); err != nil {
 			return b, err
 		}
 	}
 	return b, nil
 }
 
-// decodeCommitPayload parses a 'C' payload (type byte included).
-func decodeCommitPayload(b []byte) (seq uint64, writes []writeEntry, err error) {
+// DecodeCommitPayload parses a 'C' payload (type byte included).
+func DecodeCommitPayload(b []byte) (seq uint64, writes []Entry, err error) {
 	if len(b) == 0 || b[0] != recCommit {
 		return 0, nil, errors.New("durable: not a commit record")
 	}
@@ -196,7 +234,7 @@ func decodeCommitPayload(b []byte) (seq uint64, writes []writeEntry, err error) 
 		return 0, nil, errors.New("durable: bad commit write count")
 	}
 	b = b[w:]
-	writes = make([]writeEntry, 0, n)
+	writes = make([]Entry, 0, n)
 	for i := uint64(0); i < n; i++ {
 		id, w := binary.Uvarint(b)
 		if w <= 0 {
@@ -207,7 +245,7 @@ func decodeCommitPayload(b []byte) (seq uint64, writes []writeEntry, err error) 
 		if err != nil {
 			return 0, nil, err
 		}
-		writes = append(writes, writeEntry{id: id, v: v})
+		writes = append(writes, Entry{ID: id, V: v})
 	}
 	if len(b) != 0 {
 		return 0, nil, errors.New("durable: trailing bytes in commit record")
@@ -217,23 +255,23 @@ func decodeCommitPayload(b []byte) (seq uint64, writes []writeEntry, err error) 
 
 // appendSnapshotPayload appends the 'S' payload for a snapshot at watermark
 // seq holding entries (sorted by caller for deterministic bytes).
-func appendSnapshotPayload(b []byte, seq uint64, entries []writeEntry) ([]byte, error) {
+func appendSnapshotPayload(b []byte, seq uint64, entries []Entry) ([]byte, error) {
 	b = append(b, recSnapshot)
 	b = binary.AppendUvarint(b, seq)
 	b = binary.AppendUvarint(b, uint64(len(entries)))
 	var err error
 	for _, e := range entries {
-		b = binary.AppendUvarint(b, e.id)
-		if b, err = appendValue(b, e.v); err != nil {
+		b = binary.AppendUvarint(b, e.ID)
+		if b, err = appendValue(b, e.V); err != nil {
 			return b, err
 		}
 	}
 	return b, nil
 }
 
-// decodeSnapshotPayload parses an 'S' payload into the watermark and a
+// DecodeSnapshotPayload parses an 'S' payload into the watermark and a
 // cellID → value map.
-func decodeSnapshotPayload(b []byte) (seq uint64, values map[uint64]val.Value, err error) {
+func DecodeSnapshotPayload(b []byte) (seq uint64, values map[uint64]val.Value, err error) {
 	if len(b) == 0 || b[0] != recSnapshot {
 		return 0, nil, errors.New("durable: not a snapshot record")
 	}
@@ -277,26 +315,28 @@ func frameAround(b []byte) []byte {
 	return b
 }
 
-// readFrame reads one frame from r. It returns io.EOF at a clean end of
-// input and an error wrapping errTorn for a short frame or CRC mismatch.
-func readFrame(r io.Reader) (payload []byte, frameLen int64, err error) {
+// ReadFrame reads one frame from r. It returns io.EOF at a clean end of
+// input and an error wrapping ErrTorn for a short frame or CRC mismatch.
+// Recovery and the replication follower share it: the wire protocol ships
+// the exact on-disk frame bytes.
+func ReadFrame(r io.Reader) (payload []byte, frameLen int64, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return nil, 0, io.EOF
 		}
-		return nil, 0, fmt.Errorf("%w: short frame header: %v", errTorn, err)
+		return nil, 0, fmt.Errorf("%w: short frame header: %v", ErrTorn, err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n > maxFrameLen {
-		return nil, 0, fmt.Errorf("%w: implausible frame length %d", errTorn, n)
+		return nil, 0, fmt.Errorf("%w: implausible frame length %d", ErrTorn, n)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 0, fmt.Errorf("%w: short frame payload: %v", errTorn, err)
+		return nil, 0, fmt.Errorf("%w: short frame payload: %v", ErrTorn, err)
 	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
-		return nil, 0, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", errTorn, want, got)
+		return nil, 0, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrTorn, want, got)
 	}
 	return payload, frameHeaderLen + int64(n), nil
 }

@@ -18,11 +18,11 @@ import (
 // segment deletion leaves stale segments whose records recovery then skips
 // (they are ≤ the watermark). Concurrent appends are safe: only segments
 // strictly older than the active one are ever deleted.
-func (l *Log) WriteSnapshot(seq uint64, entries []writeEntry) error {
+func (l *Log) WriteSnapshot(seq uint64, entries []Entry) error {
 	if err := l.Err(); err != nil {
 		return err
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
 	buf := make([]byte, len(snapshotMagic)+frameHeaderLen, len(snapshotMagic)+frameHeaderLen+64+8*len(entries))
 	copy(buf, snapshotMagic)
 	payload, err := appendSnapshotPayload(buf, seq, entries)

@@ -160,6 +160,11 @@ type Log struct {
 	flushedSeq  uint64 // highest seq known flushed+synced (tracked under group/always)
 	sticky      error  // ErrCrashed / wrapped I/O error; wedges the log
 	closed      bool
+	// tap, when set, observes every appended frame in seq order (the
+	// replication feed). Called with l.mu held, immediately after the
+	// append; the frame bytes are only valid during the call. The tap must
+	// never block and never touch the Log.
+	tap func(seq uint64, frame []byte)
 
 	stopFlusher chan struct{}
 	flusherDone chan struct{}
@@ -332,6 +337,11 @@ func (l *Log) Commit(seq uint64, frame []byte) (int64, error) {
 	l.segSize += int64(len(frame))
 	l.appendedSeq = seq
 	l.nextSeq = seq + 1
+	if l.tap != nil {
+		// Under l.mu, so the tap sees frames strictly in seq order — the
+		// property the replication stream inherits from the sequencer.
+		l.tap(seq, frame)
+	}
 	l.seqCond.Broadcast()
 
 	if l.cfg.crash.fire(CrashAfterRecordBeforeSync) {
@@ -405,6 +415,56 @@ func (l *Log) flusher() {
 		}
 		l.mu.Unlock()
 	}
+}
+
+// setTap installs (or clears, with nil) the append observer. Install it
+// before commits flow; replacing a live tap is racy only in the sense that
+// an in-flight Commit uses whichever tap it observes under l.mu.
+func (l *Log) setTap(tap func(seq uint64, frame []byte)) {
+	l.mu.Lock()
+	l.tap = tap
+	l.mu.Unlock()
+}
+
+// AppendedSeq returns the highest sequence number appended so far.
+func (l *Log) AppendedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendedSeq
+}
+
+// skipTo advances the sequencer to firstSeq, rotating to a fresh segment
+// named for it, so the next Commit must carry exactly firstSeq. It is the
+// follower-side half of snapshot installation: after a replica snapshot at
+// watermark W is on disk, the log resumes at W+1 with no on-disk gap (the
+// rotation starts a new segment whose name declares the jump; records at or
+// below W in older segments are covered by the snapshot). Refuses to move
+// backwards.
+func (l *Log) skipTo(firstSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if firstSeq < l.nextSeq {
+		return fmt.Errorf("durable: skipTo %d would regress the sequencer (next %d)", firstSeq, l.nextSeq)
+	}
+	if firstSeq == l.nextSeq {
+		return nil
+	}
+	if err := l.openSegment(firstSeq); err != nil {
+		l.fail(fmt.Errorf("durable: skipTo rotation: %w", err))
+		return l.sticky
+	}
+	l.nextSeq = firstSeq
+	l.appendedSeq = firstSeq - 1
+	l.flushedSeq = firstSeq - 1
+	l.seqCond.Broadcast()
+	l.flushCond.Broadcast()
+	return nil
 }
 
 // Sync forces everything appended so far to stable storage, regardless of
@@ -558,13 +618,13 @@ func loadSnapshot(dir string, rec *recovery) error {
 	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapshotMagic {
 		return fmt.Errorf("durable: bad snapshot magic in %s", path)
 	}
-	payload, _, err := readFrame(r)
+	payload, _, err := ReadFrame(r)
 	if err != nil {
 		// The snapshot was written with write-tmp → fsync → rename, so a
 		// torn snapshot means disk corruption, not a crash: refuse.
 		return fmt.Errorf("durable: corrupt snapshot %s: %v", path, err)
 	}
-	seq, values, err := decodeSnapshotPayload(payload)
+	seq, values, err := DecodeSnapshotPayload(payload)
 	if err != nil {
 		return fmt.Errorf("durable: corrupt snapshot %s: %v", path, err)
 	}
@@ -591,11 +651,11 @@ func replaySegment(seg segmentFile, lastSegment bool, rec *recovery) error {
 	}
 	offset := int64(len(segmentMagic))
 	for {
-		payload, frameLen, err := readFrame(r)
+		payload, frameLen, err := ReadFrame(r)
 		if err == io.EOF {
 			return nil
 		}
-		if errors.Is(err, errTorn) {
+		if errors.Is(err, ErrTorn) {
 			if !lastSegment {
 				return fmt.Errorf("durable: corrupt frame mid-log in %s at offset %d: %v", seg.path, offset, err)
 			}
@@ -612,7 +672,7 @@ func replaySegment(seg segmentFile, lastSegment bool, rec *recovery) error {
 		if err != nil {
 			return err
 		}
-		seq, writes, err := decodeCommitPayload(payload)
+		seq, writes, err := DecodeCommitPayload(payload)
 		if err != nil {
 			// A CRC-valid frame with a malformed payload is corruption the
 			// CRC cannot excuse — refuse even in the final segment.
@@ -624,7 +684,7 @@ func replaySegment(seg segmentFile, lastSegment bool, rec *recovery) error {
 					seg.path, offset, seq, rec.lastSeq+1)
 			}
 			for _, w := range writes {
-				rec.values[w.id] = w.v
+				rec.values[w.ID] = w.V
 			}
 			rec.lastSeq = seq
 			rec.commits++

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Options parameterize backend construction. Every field has a usable
@@ -65,6 +66,13 @@ type Options struct {
 	// compaction in the durable backends. 0 selects the default (8 MiB);
 	// negative disables automatic compaction.
 	SnapshotBytes int64
+	// SegmentBytes is the durable backends' WAL segment rotation size. 0
+	// selects the default (4 MiB).
+	SegmentBytes int64
+	// GroupInterval bounds the durable backends' group-commit flush wait —
+	// how long an acknowledgment may sit in the shared flush batch. 0
+	// selects the default (2 ms).
+	GroupInterval time.Duration
 }
 
 // fsyncPolicies are the recognized Options.Fsync values ("" selects the
@@ -132,6 +140,12 @@ func (o Options) Validate() error {
 				o.Fsync, strings.Join(fsyncPolicies, ", "))
 		}
 	}
+	if o.SegmentBytes < 0 {
+		return fmt.Errorf("engine: SegmentBytes = %d, must be ≥ 1 (or 0 for the default)", o.SegmentBytes)
+	}
+	if o.GroupInterval < 0 {
+		return fmt.Errorf("engine: GroupInterval = %v, must be ≥ 0 (0 selects the default)", o.GroupInterval)
+	}
 	return nil
 }
 
@@ -170,6 +184,8 @@ func (o *Options) BindFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.WALDir, "wal", o.WALDir, "durable/* write-ahead-log directory (empty = temp dir, no cross-restart recovery)")
 	fs.StringVar(&o.Fsync, "fsync", o.Fsync, "durable/* sync policy: "+strings.Join(fsyncPolicies, "|")+" (empty = group)")
 	fs.Int64Var(&o.SnapshotBytes, "snapshot", o.SnapshotBytes, "durable/* live-log bytes that trigger snapshot compaction (0 = default 8 MiB, < 0 disables)")
+	fs.Int64Var(&o.SegmentBytes, "segment", o.SegmentBytes, "durable/* WAL segment rotation size in bytes (0 = default 4 MiB)")
+	fs.DurationVar(&o.GroupInterval, "group-interval", o.GroupInterval, "durable/* group-commit flush interval bound (0 = default 2ms)")
 }
 
 // Capabilities declares, at registration time, what an engine's threads and

@@ -90,6 +90,11 @@ type Result struct {
 	// records which fsync policy was paying the commit-latency tax. Absent
 	// for in-memory engines; snapshots may mix durable and plain records.
 	Wal *WalInfo `json:"wal,omitempty"`
+	// Repl, when the run was measured on a node in a replication pair
+	// (internal/replica), records its role and stream counters — replication
+	// lag is a throughput tax the same way fsync policy is. Accepted, never
+	// required: the stock bench matrix runs unreplicated.
+	Repl *ReplInfo `json:"repl,omitempty"`
 }
 
 // WalInfo is the durability telemetry of a measured run.
@@ -98,6 +103,23 @@ type WalInfo struct {
 	Dir string `json:"dir,omitempty"`
 	// FsyncPolicy is the engine's sync policy: "always", "group" or "never".
 	FsyncPolicy string `json:"fsync_policy"`
+}
+
+// ReplInfo is the replication telemetry of a run measured on a replicated
+// node.
+type ReplInfo struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// Followers is the primary's live stream count at snapshot time.
+	Followers int `json:"followers,omitempty"`
+	// LagSeqs and LagBytes measure the slowest follower's distance behind
+	// the primary's WAL high-water mark.
+	LagSeqs  int64 `json:"lag_seqs,omitempty"`
+	LagBytes int64 `json:"lag_bytes,omitempty"`
+	// Resyncs counts snapshot resyncs forced by slow followers; Reconnects
+	// counts stream re-establishments.
+	Resyncs    int64 `json:"resyncs,omitempty"`
+	Reconnects int64 `json:"reconnects,omitempty"`
 }
 
 // ScalingPoint is one worker count of a scaling curve.
@@ -192,6 +214,21 @@ func (r Result) Validate() error {
 		default:
 			return fmt.Errorf("harness: %s/%s: wal telemetry with unknown fsync policy %q",
 				r.Workload, r.Engine, r.Wal.FsyncPolicy)
+		}
+	}
+	if r.Repl != nil {
+		switch r.Repl.Role {
+		// Mirrors the two replication roles (internal/replica); anything else
+		// is a stripped or hand-edited record.
+		case "primary", "follower":
+		default:
+			return fmt.Errorf("harness: %s/%s: repl telemetry with unknown role %q",
+				r.Workload, r.Engine, r.Repl.Role)
+		}
+		if r.Repl.Followers < 0 || r.Repl.LagSeqs < 0 || r.Repl.LagBytes < 0 ||
+			r.Repl.Resyncs < 0 || r.Repl.Reconnects < 0 {
+			return fmt.Errorf("harness: %s/%s: repl telemetry with negative counters (%+v)",
+				r.Workload, r.Engine, *r.Repl)
 		}
 	}
 	prev := 0

@@ -1,0 +1,313 @@
+package stmserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The failover audit: the client-side half of the replication proof, the
+// log-shipping sibling of audit.go's crash-recovery audit. It drives
+// acknowledged transfers at a replicated primary until the primary dies (the
+// kill is external — kill -9 in CI, Service.Close in tests), promotes the
+// hot standby with the PROMOTE op, and then asserts on the promoted node
+// that every transfer the dead primary acknowledged survived the failover
+// and that the keyspace still conserves its sum. The zero-acked-loss claim
+// is only as strong as the ack mode: run the primary with -repl-ack quorum
+// so client acks waited for follower acks, otherwise the tail of
+// acknowledged commits may legitimately die with the primary.
+
+// FailoverAuditOptions parameterizes RunFailoverAudit. Zero values select
+// defaults.
+type FailoverAuditOptions struct {
+	// Conns is the number of audit connections (default 4), each owning a
+	// marker key (key i) and a sink key (key keys/2+i).
+	Conns int
+	// Window bounds the load phase: the primary must die within it (default
+	// 30s).
+	Window time.Duration
+	// ReplWait bounds the pre-phase wait for the primary to report at least
+	// MinFollowers live followers (default 30s). Loading before the standby
+	// is attached would make the audit vacuous.
+	ReplWait time.Duration
+	// MinFollowers is the follower count the pre-phase waits for (default 1).
+	MinFollowers int
+	// PromoteTimeout bounds the promote phase: dialing the standby and
+	// getting its PROMOTE accepted (default 30s).
+	PromoteTimeout time.Duration
+	// Keys and Initial describe the keyspace. 0 asks the primary via INFO;
+	// the standby must agree.
+	Keys    int
+	Initial int64
+	// SkipSum skips the conserved-sum assertion (set when other clients ran
+	// non-transfer traffic against the keyspace).
+	SkipSum bool
+}
+
+func (o FailoverAuditOptions) withDefaults() FailoverAuditOptions {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Window <= 0 {
+		o.Window = 30 * time.Second
+	}
+	if o.ReplWait <= 0 {
+		o.ReplWait = 30 * time.Second
+	}
+	if o.MinFollowers <= 0 {
+		o.MinFollowers = 1
+	}
+	if o.PromoteTimeout <= 0 {
+		o.PromoteTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// FailoverReport is the audit's outcome. Err-free completion means every
+// transfer the dead primary acknowledged was found on the promoted standby.
+type FailoverReport struct {
+	Conns        int           `json:"conns"`
+	Keys         int           `json:"keys"`
+	Followers    int           `json:"followers"` // primary's view before load
+	Acked        uint64        `json:"acked"`
+	PerConn      []uint64      `json:"acked_per_conn"`
+	DownAfter    time.Duration `json:"down_after_ns"`
+	PromoteAfter time.Duration `json:"promote_after_ns"`
+	Sum          int64         `json:"sum"`
+	WantSum      int64         `json:"want_sum"`
+	// AppliedSeq is the promoted node's replication watermark — the nonzero
+	// proof that commits actually flowed over the wire.
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+// statsCall issues STATS and decodes the JSON payload.
+func statsCall(c Caller) (*Stats, error) {
+	var resp Response
+	if err := c.Do(&Request{Op: OpStats}, &resp); err != nil {
+		return nil, fmt.Errorf("stmserve: STATS: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("stmserve: STATS: %s", resp.Err)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(resp.Text), &st); err != nil {
+		return nil, fmt.Errorf("stmserve: STATS decode: %w", err)
+	}
+	return &st, nil
+}
+
+// RunFailoverAudit loads a replicated primary with acknowledged transfers
+// until it dies, promotes the standby behind standbyDial, and verifies that
+// failover kept every acked commit. A non-nil error means zero-acked-loss
+// was NOT proven.
+func RunFailoverAudit(primaryDial, standbyDial Dialer, opts FailoverAuditOptions) (*FailoverReport, error) {
+	opts = opts.withDefaults()
+	rep := &FailoverReport{Conns: opts.Conns}
+
+	// Setup on the primary: keyspace shape, replication pre-check, marker
+	// baselines.
+	c, err := primaryDial()
+	if err != nil {
+		return rep, fmt.Errorf("stmserve: failover audit dial primary: %w", err)
+	}
+	keys, initial, err := infoCall(c)
+	if err != nil {
+		c.Close()
+		return rep, err
+	}
+	if opts.Keys != 0 && opts.Keys != keys {
+		c.Close()
+		return rep, fmt.Errorf("stmserve: failover audit: primary keyspace %d != expected %d", keys, opts.Keys)
+	}
+	if opts.Initial != 0 {
+		initial = opts.Initial
+	}
+	rep.Keys = keys
+	rep.WantSum = int64(keys) * initial
+	if opts.Conns > keys/2 {
+		c.Close()
+		return rep, fmt.Errorf("stmserve: failover audit: %d conns need %d keys (marker+sink per conn), have %d", opts.Conns, 2*opts.Conns, keys)
+	}
+
+	// Wait for replication to be live: the primary must report at least
+	// MinFollowers attached followers before the load starts, or the acked
+	// transfers would have nowhere to survive to.
+	waitStart := time.Now()
+	for {
+		st, err := statsCall(c)
+		if err != nil {
+			c.Close()
+			return rep, err
+		}
+		if st.Replication == nil {
+			c.Close()
+			return rep, fmt.Errorf("stmserve: failover audit: primary reports no replication block (started without -repl-listen?)")
+		}
+		if st.Replication.Followers >= opts.MinFollowers {
+			rep.Followers = st.Replication.Followers
+			break
+		}
+		if time.Since(waitStart) > opts.ReplWait {
+			c.Close()
+			return rep, fmt.Errorf("stmserve: failover audit: primary has %d followers after %v, want ≥ %d",
+				st.Replication.Followers, opts.ReplWait, opts.MinFollowers)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	baseline := make([]int64, opts.Conns)
+	{
+		req := Request{Op: OpBatchRead}
+		for i := 0; i < opts.Conns; i++ {
+			req.Keys = append(req.Keys, i)
+		}
+		var resp Response
+		if err := c.Do(&req, &resp); err != nil || resp.Err != "" || len(resp.Vals) != opts.Conns {
+			c.Close()
+			return rep, fmt.Errorf("stmserve: failover audit baseline read: %v %q", err, resp.Err)
+		}
+		copy(baseline, resp.Vals)
+	}
+	c.Close()
+
+	// Load phase: identical to the recovery audit's — conn i transfers 1
+	// from its sink into its marker, counting acknowledged commits only,
+	// until the primary dies. With -repl-ack quorum every count here was
+	// follower-acked before the client saw OK.
+	rep.PerConn = make([]uint64, opts.Conns)
+	start := time.Now()
+	deadline := start.Add(opts.Window)
+	var wg sync.WaitGroup
+	died := make([]bool, opts.Conns)
+	for i := 0; i < opts.Conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := primaryDial()
+			if err != nil {
+				died[id] = true
+				return
+			}
+			defer c.Close()
+			req := Request{Op: OpTransfer, Key: keys/2 + id, Key2: id, Val: 1}
+			var resp Response
+			for time.Now().Before(deadline) {
+				if err := c.Do(&req, &resp); err != nil || resp.Err != "" {
+					died[id] = true
+					return
+				}
+				rep.PerConn[id]++
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.DownAfter = time.Since(start)
+	for i, d := range died {
+		rep.Acked += rep.PerConn[i]
+		if !d {
+			return rep, fmt.Errorf("stmserve: failover audit: primary still up after %v window (conn %d never saw it die)", opts.Window, i)
+		}
+	}
+
+	// Promote phase: tell the standby to seal its stream and start serving.
+	// Retries cover a standby that is briefly unreachable; a PROMOTE racing
+	// an earlier success reports "already promoted", which is success here.
+	promoteStart := time.Now()
+	c = nil
+	for {
+		cand, err := standbyDial()
+		if err == nil {
+			var resp Response
+			perr := cand.Do(&Request{Op: OpPromote}, &resp)
+			if perr == nil && (resp.Err == "" || strings.Contains(resp.Err, "already promoted")) {
+				c = cand
+				break
+			}
+			cand.Close()
+			if perr == nil && resp.Err != "" && !strings.Contains(resp.Err, "already promoted") {
+				return rep, fmt.Errorf("stmserve: failover audit: standby refused PROMOTE: %s", resp.Err)
+			}
+		}
+		if time.Since(promoteStart) > opts.PromoteTimeout {
+			return rep, fmt.Errorf("stmserve: failover audit: standby not promoted within %v", opts.PromoteTimeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer c.Close()
+	rep.PromoteAfter = time.Since(promoteStart)
+
+	// Verification on the promoted node: same keyspace...
+	keys2, _, err := infoCall(c)
+	if err != nil {
+		return rep, err
+	}
+	if keys2 != keys {
+		return rep, fmt.Errorf("stmserve: failover audit: keyspace differs across failover: %d → %d", keys, keys2)
+	}
+
+	// ...every acked transfer present (marker may exceed the bound when an
+	// ack was lost in flight as the primary died)...
+	{
+		req := Request{Op: OpBatchRead}
+		for i := 0; i < opts.Conns; i++ {
+			req.Keys = append(req.Keys, i)
+		}
+		var resp Response
+		if err := c.Do(&req, &resp); err != nil || resp.Err != "" || len(resp.Vals) != opts.Conns {
+			return rep, fmt.Errorf("stmserve: failover audit marker read: %v %q", err, resp.Err)
+		}
+		for i, got := range resp.Vals {
+			want := baseline[i] + int64(rep.PerConn[i])
+			if got < want {
+				return rep, fmt.Errorf("stmserve: failover audit: conn %d lost acked transfers across failover: marker %d < baseline %d + acked %d",
+					i, got, baseline[i], rep.PerConn[i])
+			}
+		}
+	}
+
+	// ...a conserved sum...
+	if !opts.SkipSum {
+		const batch = 256
+		var resp Response
+		req := Request{Op: OpSnapshot}
+		for lo := 0; lo < keys; lo += batch {
+			req.Keys = req.Keys[:0]
+			for k := lo; k < keys && k < lo+batch; k++ {
+				req.Keys = append(req.Keys, k)
+			}
+			if err := c.Do(&req, &resp); err != nil || resp.Err != "" || len(resp.Vals) != len(req.Keys) {
+				return rep, fmt.Errorf("stmserve: failover audit snapshot [%d,%d): %v %q", lo, lo+len(req.Keys), err, resp.Err)
+			}
+			for _, v := range resp.Vals {
+				rep.Sum += v
+			}
+		}
+		if rep.Sum != rep.WantSum {
+			return rep, fmt.Errorf("stmserve: failover audit: conserved sum violated: %d != %d (keys %d × initial %d)",
+				rep.Sum, rep.WantSum, keys, initial)
+		}
+	}
+
+	// ...and replication telemetry proving commits actually shipped: the
+	// promoted node must report itself promoted with a nonzero applied-seq
+	// watermark.
+	{
+		st, err := statsCall(c)
+		if err != nil {
+			return rep, err
+		}
+		if st.Replication == nil {
+			return rep, fmt.Errorf("stmserve: failover audit: promoted node reports no replication block")
+		}
+		if !st.Replication.Promoted {
+			return rep, fmt.Errorf("stmserve: failover audit: promoted node's stats do not report promotion")
+		}
+		rep.AppliedSeq = st.Replication.AppendedSeq
+		if rep.AppliedSeq == 0 {
+			return rep, fmt.Errorf("stmserve: failover audit: promoted node replicated zero commits (acked %d before the kill)", rep.Acked)
+		}
+	}
+	return rep, nil
+}

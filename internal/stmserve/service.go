@@ -49,14 +49,15 @@ import (
 // Op identifies one service operation.
 type Op uint8
 
-// The service operations. OpPing, OpInfo and OpStats are control operations
-// answered without a transaction; everything else runs as exactly one
-// transaction on the backing engine.
+// The service operations. OpPing, OpInfo, OpStats and OpPromote are control
+// operations answered without a transaction; everything else runs as exactly
+// one transaction on the backing engine.
 const (
 	OpInvalid Op = iota
 	OpPing
 	OpInfo
 	OpStats
+	OpPromote     // seal a standby's replication stream and start serving
 	OpRead        // Key → Vals[0]
 	OpWrite       // Key, Val
 	OpTransfer    // Key (from), Key2 (to), Val (amount)
@@ -72,7 +73,8 @@ const (
 
 var opNames = [numOps]string{
 	OpInvalid: "invalid", OpPing: "ping", OpInfo: "info", OpStats: "stats",
-	OpRead: "read", OpWrite: "write", OpTransfer: "transfer",
+	OpPromote: "promote",
+	OpRead:    "read", OpWrite: "write", OpTransfer: "transfer",
 	OpSnapshot: "snapshot", OpBatchRead: "batch-read", OpBatchWrite: "batch-write",
 	OpCAS: "cas", OpSetAdd: "set-add", OpSetRemove: "set-remove",
 	OpSetContains: "set-contains",
@@ -199,6 +201,60 @@ type Service struct {
 	metrics [numOps]opMetrics
 	nextID  atomic.Int64
 	closed  atomic.Bool
+
+	// Replication hooks, installed by the shell (cmd/stmserve) so this
+	// package never imports internal/replica: promote seals a standby and
+	// brings it up as serving primary (OpPromote), replStats feeds the STATS
+	// replication block. Both are optional; a Service without them is simply
+	// not part of a replication pair.
+	promote   atomic.Pointer[func() error]
+	replStats atomic.Pointer[func() *ReplStats]
+}
+
+// ReplStats is the replication block of a STATS snapshot — a role-tagged
+// union of primary-side (followers, lag, resyncs, acks) and follower-side
+// (applied watermark, reconnects, snapshot installs) telemetry. The shell
+// that wires the replication layer installs a provider via SetReplStats.
+type ReplStats struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// AppendedSeq is the local WAL high-water mark (both roles).
+	AppendedSeq uint64 `json:"appended_seq"`
+
+	// Primary-side fields.
+	Followers   int    `json:"followers,omitempty"` // live streams
+	MinAckedSeq uint64 `json:"min_acked_seq,omitempty"`
+	LagSeqs     uint64 `json:"lag_seqs,omitempty"`  // appended − slowest ack
+	LagBytes    int64  `json:"lag_bytes,omitempty"` // queued bytes, all streams
+	Resyncs     uint64 `json:"resyncs,omitempty"`   // snapshot resyncs forced
+	Accepts     uint64 `json:"accepts,omitempty"`   // follower streams accepted
+	Disconnects uint64 `json:"disconnects,omitempty"`
+
+	// Follower-side fields.
+	Connected  bool   `json:"connected,omitempty"`
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	Snapshots  uint64 `json:"snapshots,omitempty"` // snapshot installs
+	Promoted   bool   `json:"promoted,omitempty"`
+}
+
+// SetPromote installs the hook OpPromote invokes (nil uninstalls). The shell
+// that created a replication follower points this at its Promote method.
+func (s *Service) SetPromote(fn func() error) {
+	if fn == nil {
+		s.promote.Store(nil)
+		return
+	}
+	s.promote.Store(&fn)
+}
+
+// SetReplStats installs the provider for the STATS replication block (nil
+// uninstalls).
+func (s *Service) SetReplStats(fn func() *ReplStats) {
+	if fn == nil {
+		s.replStats.Store(nil)
+		return
+	}
+	s.replStats.Store(&fn)
 }
 
 // New builds a Service over eng. The engine must be freshly constructed and
@@ -307,6 +363,12 @@ func (ss *Session) Exec(req *Request, resp *Response) error {
 		if data, err = json.Marshal(svc.Stats()); err == nil {
 			resp.Text = string(data)
 		}
+	case OpPromote:
+		if fn := svc.promote.Load(); fn != nil {
+			err = (*fn)()
+		} else {
+			err = errors.New("stmserve: not a standby (no promote hook installed)")
+		}
 	default:
 		err = ss.sess.do(req, resp)
 	}
@@ -341,6 +403,7 @@ type Stats struct {
 	PerOp       []OpStat               `json:"per_op,omitempty"`
 	EngineStats engine.Stats           `json:"engine_stats"`
 	Durability  *engine.DurabilityInfo `json:"durability,omitempty"`
+	Replication *ReplStats             `json:"replication,omitempty"`
 }
 
 // Stats snapshots the service telemetry. The per-op counters and histograms
@@ -358,6 +421,9 @@ func (s *Service) Stats() Stats {
 	if d, ok := s.eng.(engine.Durable); ok {
 		info := d.DurabilityInfo()
 		st.Durability = &info
+	}
+	if fn := s.replStats.Load(); fn != nil {
+		st.Replication = (*fn)()
 	}
 	for op := OpInvalid; op < numOps; op++ {
 		m := &s.metrics[op]

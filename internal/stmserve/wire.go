@@ -17,6 +17,7 @@ import (
 //	PING
 //	INFO
 //	STATS
+//	PROMOTE                   seal a standby's stream; start serving
 //	R <key>                   read
 //	W <key> <val>             write
 //	T <from> <to> <amount>    transfer
@@ -39,7 +40,7 @@ import (
 // JSON names; the transactional verbs are terse because they are what load
 // generators hammer.)
 var wireOps = map[string]Op{
-	"PING": OpPing, "INFO": OpInfo, "STATS": OpStats,
+	"PING": OpPing, "INFO": OpInfo, "STATS": OpStats, "PROMOTE": OpPromote,
 	"R": OpRead, "W": OpWrite, "T": OpTransfer, "C": OpCAS,
 	"SNAP": OpSnapshot, "MR": OpBatchRead, "MW": OpBatchWrite,
 	"SADD": OpSetAdd, "SREM": OpSetRemove, "SHAS": OpSetContains,
@@ -121,7 +122,7 @@ func ParseRequest(line []byte, req *Request) error {
 	var ints [3]int64
 	need := 0
 	switch op {
-	case OpPing, OpInfo, OpStats:
+	case OpPing, OpInfo, OpStats, OpPromote:
 	case OpRead, OpSetAdd, OpSetRemove, OpSetContains:
 		need = 1
 	case OpWrite:
@@ -216,7 +217,7 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		dst = strconv.AppendInt(dst, n, 10)
 	}
 	switch req.Op {
-	case OpPing, OpInfo, OpStats:
+	case OpPing, OpInfo, OpStats, OpPromote:
 	case OpRead, OpSetAdd, OpSetRemove, OpSetContains:
 		appendInt(int64(req.Key))
 	case OpWrite:
